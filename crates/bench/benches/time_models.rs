@@ -1,0 +1,103 @@
+//! E1–E4: diagnosis-time models (Eq. 1–4) and the Sec. 4.2 case study,
+//! plus a cycle-accurate simulated comparison of both schemes.
+
+use bench::{print_section, small_population};
+use criterion::{criterion_group, criterion_main, Criterion};
+use esram_diag::{AnalyticModel, CaseStudy, DiagnosisScheme, DrfMode, FastScheme, HuangScheme};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn print_case_study() {
+    print_section("E1-E4: Sec. 4.2 case study (n = 512, c = 100, t = 10 ns, 1 % defects)");
+    let report = CaseStudy::date2005().evaluate();
+    print!("{}", report.to_table());
+    println!("paper: R >= 84 without DRFs, R >= 145 with DRFs");
+
+    let model = AnalyticModel::date2005_benchmark();
+    println!(
+        "\nEq. (1) baseline cycles (k = 96): {}\nEq. (2) proposed cycles:          {}",
+        model.baseline_cycles(96),
+        model.proposed_cycles()
+    );
+}
+
+fn print_simulated_comparison() {
+    print_section("E1-E4 (simulated): cycle-accurate comparison on a shared defect population");
+    println!(
+        "{:<34} {:>14} {:>12} {:>10} {:>8}",
+        "scheme", "cycles", "time (ms)", "located", "iters"
+    );
+    let mut rows = Vec::new();
+    for (label, rate) in [("0.5 % defects", 0.005), ("1 % defects", 0.01), ("2 % defects", 0.02)] {
+        let mut baseline_soc = small_population(4, 64, 16, rate, 42);
+        let baseline = HuangScheme::new(10.0).diagnose(baseline_soc.memories_mut()).expect("baseline run");
+        let mut fast_soc = small_population(4, 64, 16, rate, 42);
+        let fast = FastScheme::new(10.0)
+            .with_drf_mode(DrfMode::None)
+            .diagnose(fast_soc.memories_mut())
+            .expect("fast run");
+        println!(
+            "{:<34} {:>14} {:>12.4} {:>10} {:>8}",
+            format!("baseline [7,8], {label}"),
+            baseline.cycles,
+            baseline.time_ms(),
+            baseline.located_count(),
+            baseline.iterations
+        );
+        println!(
+            "{:<34} {:>14} {:>12.4} {:>10} {:>8}",
+            format!("proposed,       {label}"),
+            fast.cycles,
+            fast.time_ms(),
+            fast.located_count(),
+            fast.iterations
+        );
+        rows.push((label, fast.speedup_versus(&baseline)));
+    }
+    println!();
+    for (label, reduction) in rows {
+        println!("simulated reduction factor R at {label}: {reduction:.1}");
+    }
+}
+
+fn bench_time_models(c: &mut Criterion) {
+    print_case_study();
+    print_simulated_comparison();
+
+    let mut group = c.benchmark_group("time_models");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("analytic_case_study", |b| {
+        b.iter(|| black_box(CaseStudy::date2005().evaluate()))
+    });
+
+    group.bench_function("fast_scheme_diagnose_4x64x16", |b| {
+        b.iter_batched(
+            || small_population(4, 64, 16, 0.01, 42),
+            |mut soc| {
+                let result = FastScheme::new(10.0)
+                    .with_drf_mode(DrfMode::None)
+                    .diagnose(soc.memories_mut())
+                    .expect("fast run");
+                black_box(result.cycles)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.bench_function("huang_scheme_diagnose_4x64x16", |b| {
+        b.iter_batched(
+            || small_population(4, 64, 16, 0.01, 42),
+            |mut soc| {
+                let result = HuangScheme::new(10.0).diagnose(soc.memories_mut()).expect("baseline run");
+                black_box(result.cycles)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_time_models);
+criterion_main!(benches);

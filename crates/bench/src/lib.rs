@@ -1,0 +1,63 @@
+//! Shared helpers for the benchmark harnesses.
+//!
+//! Every bench target in `benches/` regenerates one of the paper's
+//! evaluation artefacts (see `DESIGN.md`, experiment index): it first
+//! prints the corresponding table to stdout and then lets Criterion
+//! measure a representative kernel so regressions in the simulation
+//! speed itself are visible too.
+
+use esram_diag::Soc;
+
+/// Prints a section header for a regenerated table.
+pub fn print_section(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+/// Builds a reproducible small defective population used by several
+/// benches: `memories` e-SRAMs of `words x width` at the given defect
+/// rate (baseline defect classes only).
+pub fn small_population(memories: usize, words: u64, width: usize, defect_rate: f64, seed: u64) -> Soc {
+    Soc::builder()
+        .memories(memories, words, width)
+        .expect("valid geometry")
+        .defect_rate(defect_rate)
+        .seed(seed)
+        .spares(32)
+        .build()
+        .expect("population builds")
+}
+
+/// Builds a reproducible defective population that also contains
+/// data-retention defects.
+pub fn drf_population(memories: usize, words: u64, width: usize, defect_rate: f64, seed: u64) -> Soc {
+    Soc::builder()
+        .memories(memories, words, width)
+        .expect("valid geometry")
+        .defect_rate(defect_rate)
+        .with_data_retention_defects()
+        .seed(seed)
+        .spares(32)
+        .build()
+        .expect("population builds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_helpers_build_deterministically() {
+        let a = small_population(2, 32, 8, 0.02, 1);
+        let b = small_population(2, 32, 8, 0.02, 1);
+        assert_eq!(a.injected_faults(), b.injected_faults());
+        assert!(a.injected_faults() > 0);
+        let drf = drf_population(1, 64, 8, 0.05, 2);
+        assert!(drf
+            .memories()
+            .iter()
+            .flat_map(|m| m.injected.iter())
+            .any(|f| f.class() == esram_diag::FaultClass::DataRetention));
+    }
+}

@@ -1,0 +1,467 @@
+//! The proposed fast diagnosis scheme (Fig. 3): SPC/PSC converters,
+//! March CW and NWRTM-based data-retention diagnosis.
+
+use crate::components::{AddressTrigger, ComparatorArray, DataBackgroundGenerator, MemorySizeTable};
+use crate::result::DiagnosisResult;
+use crate::scheme::{DiagnosisScheme, MemoryUnderDiagnosis};
+use march::{algorithms, AddressOrder, DataBackground, MarchElement, MarchOp, MarchSchedule};
+use serial::{ParallelToSerialConverter, PatternDeliveryBus, ShiftOrder};
+use sram_model::{Address, DataWord, MemError};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// How the scheme handles data-retention faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DrfMode {
+    /// Ignore DRFs (what the baseline architecture of [7,8] does).
+    None,
+    /// Merge NWRTM No-Write-Recovery cycles into the last phase: DRFs are
+    /// located at speed with no pause (the paper's proposal).
+    #[default]
+    Nwrtm,
+    /// Classical pause-based DRF testing with the given pause per
+    /// retention state in milliseconds (kept for comparison).
+    RetentionPause(u32),
+}
+
+impl fmt::Display for DrfMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DrfMode::None => write!(f, "no DRF diagnosis"),
+            DrfMode::Nwrtm => write!(f, "NWRTM"),
+            DrfMode::RetentionPause(ms) => write!(f, "retention pause {ms} ms"),
+        }
+    }
+}
+
+/// The proposed diagnosis scheme.
+///
+/// Patterns are delivered serially over the shared bus once per March
+/// element, applied in parallel through each memory's SPC, and the read
+/// responses are captured in each memory's PSC and shifted back to the
+/// controller bit by bit while the memory idles. Every memory is
+/// diagnosed concurrently; the run length is set by the largest (most
+/// words) and widest (most IO bits) memory, exactly as in Eq. (2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FastScheme {
+    clock_period_ns: f64,
+    drf_mode: DrfMode,
+    shift_order: ShiftOrder,
+    use_march_cw: bool,
+}
+
+impl FastScheme {
+    /// Creates the scheme with the paper's defaults: March CW, NWRTM DRF
+    /// diagnosis and MSB-first pattern delivery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the clock period is not positive and finite.
+    pub fn new(clock_period_ns: f64) -> Self {
+        assert!(clock_period_ns.is_finite() && clock_period_ns > 0.0, "clock period must be positive");
+        FastScheme {
+            clock_period_ns,
+            drf_mode: DrfMode::Nwrtm,
+            shift_order: ShiftOrder::MsbFirst,
+            use_march_cw: true,
+        }
+    }
+
+    /// Selects the DRF handling mode.
+    pub fn with_drf_mode(mut self, mode: DrfMode) -> Self {
+        self.drf_mode = mode;
+        self
+    }
+
+    /// Selects the serial delivery order (LSB-first exists only for the
+    /// Sec. 3.2 ablation; MSB-first is the correct design).
+    pub fn with_shift_order(mut self, order: ShiftOrder) -> Self {
+        self.shift_order = order;
+        self
+    }
+
+    /// Uses plain March C− instead of March CW (ablation of the
+    /// intra-word background phases).
+    pub fn with_march_c_minus(mut self) -> Self {
+        self.use_march_cw = false;
+        self
+    }
+
+    /// Diagnosis clock period in nanoseconds.
+    pub fn clock_period_ns(&self) -> f64 {
+        self.clock_period_ns
+    }
+
+    /// Active DRF mode.
+    pub fn drf_mode(&self) -> DrfMode {
+        self.drf_mode
+    }
+
+    /// The March programme the scheme will execute for a population
+    /// whose widest memory has `widest_width` IO bits.
+    pub fn schedule(&self, widest_width: usize) -> MarchSchedule {
+        let base = if self.use_march_cw {
+            algorithms::march_cw(widest_width)
+        } else {
+            MarchSchedule::single(algorithms::march_c_minus(), DataBackground::Solid)
+        };
+        match self.drf_mode {
+            DrfMode::None => base,
+            DrfMode::Nwrtm => {
+                base.map_last_phase(format!("{} + NWRTM", base.name()), |t| algorithms::with_nwrtm(t))
+            }
+            DrfMode::RetentionPause(ms) => base.map_last_phase(
+                format!("{} + retention pauses", base.name()),
+                |t| algorithms::with_retention_pauses(t, ms),
+            ),
+        }
+    }
+}
+
+impl DiagnosisScheme for FastScheme {
+    fn name(&self) -> &str {
+        "fast (SPC/PSC)"
+    }
+
+    fn diagnose(&self, memories: &mut [MemoryUnderDiagnosis]) -> Result<DiagnosisResult, MemError> {
+        assert!(!memories.is_empty(), "diagnosis needs at least one memory");
+
+        let table: MemorySizeTable = memories.iter().map(|m| (m.id, m.config())).collect();
+        let n_max = table.max_words();
+        let c_max = table.max_width();
+        let trigger = AddressTrigger::new(n_max);
+        let generator = DataBackgroundGenerator::new(c_max);
+        let widths: Vec<usize> = memories.iter().map(|m| m.config().width()).collect();
+        let schedule = self.schedule(c_max);
+
+        let mut comparator = ComparatorArray::new();
+        let mut cycles: u64 = 0;
+        let mut pause_ms: f64 = 0.0;
+
+        // Golden (expected) contents per memory, maintained by the
+        // controller using its memory-size table so that wrapped-around
+        // operations on smaller memories are tolerated.
+        let mut golden: Vec<Vec<DataWord>> = memories
+            .iter()
+            .map(|m| vec![DataWord::zero(m.config().width()); m.config().words() as usize])
+            .collect();
+        let mut pscs: Vec<ParallelToSerialConverter> =
+            widths.iter().map(|&w| ParallelToSerialConverter::new(w)).collect();
+
+        for phase in schedule.phases() {
+            let background = phase.background;
+            for (element_index, element) in phase.test.elements().iter().enumerate() {
+                let label = element
+                    .label
+                    .clone()
+                    .unwrap_or_else(|| format!("{}#{}", phase.test.name(), element_index));
+
+                // Retention pauses apply once per element, to every memory.
+                let element_pause = element.pause_ms();
+                if element_pause > 0 {
+                    for memory in memories.iter_mut() {
+                        memory.sram.elapse_retention(element_pause as f64);
+                    }
+                    pause_ms += element_pause as f64;
+                }
+
+                // Serial pattern delivery: one broadcast per distinct write
+                // value used by the element, through the shared bus and the
+                // per-memory SPCs.
+                let delivered = self.deliver_patterns(element, background, &generator, &widths, &mut cycles);
+
+                cycles += self.run_element(
+                    memories,
+                    &mut golden,
+                    &mut pscs,
+                    &mut comparator,
+                    &trigger,
+                    &generator,
+                    element,
+                    background,
+                    &label,
+                    &delivered,
+                    c_max,
+                )?;
+            }
+        }
+
+        Ok(DiagnosisResult {
+            scheme: self.name().to_string(),
+            log: comparator.into_log(),
+            cycles,
+            pause_ms,
+            iterations: 1,
+            clock_period_ns: self.clock_period_ns,
+        })
+    }
+}
+
+impl FastScheme {
+    /// Broadcasts the patterns an element needs and returns, per logical
+    /// write value, the words each memory's SPC presents.
+    fn deliver_patterns(
+        &self,
+        element: &MarchElement,
+        background: DataBackground,
+        generator: &DataBackgroundGenerator,
+        widths: &[usize],
+        cycles: &mut u64,
+    ) -> BTreeMap<bool, Vec<DataWord>> {
+        let mut delivered = BTreeMap::new();
+        let mut values: Vec<bool> = Vec::new();
+        for op in &element.ops {
+            if op.is_write() {
+                if let Some(value) = op.value() {
+                    if !values.contains(&value) {
+                        values.push(value);
+                    }
+                }
+            }
+        }
+        for value in values {
+            let mut bus = PatternDeliveryBus::with_order(widths, self.shift_order);
+            let pattern = generator.pattern(background, value);
+            *cycles += bus.broadcast(&pattern);
+            let received: Vec<DataWord> = (0..widths.len()).map(|i| bus.pattern_at(i)).collect();
+            delivered.insert(value, received);
+        }
+        delivered
+    }
+
+    /// Runs one March element over the whole population in lock step and
+    /// returns the clock cycles it consumed (excluding pattern delivery).
+    #[allow(clippy::too_many_arguments)]
+    fn run_element(
+        &self,
+        memories: &mut [MemoryUnderDiagnosis],
+        golden: &mut [Vec<DataWord>],
+        pscs: &mut [ParallelToSerialConverter],
+        comparator: &mut ComparatorArray,
+        trigger: &AddressTrigger,
+        generator: &DataBackgroundGenerator,
+        element: &MarchElement,
+        background: DataBackground,
+        label: &str,
+        delivered: &BTreeMap<bool, Vec<DataWord>>,
+        c_max: usize,
+    ) -> Result<u64, MemError> {
+        let mut cycles = 0u64;
+        let addresses: Vec<Address> = match element.order {
+            AddressOrder::Ascending | AddressOrder::Either => trigger.ascending().collect(),
+            AddressOrder::Descending => trigger.descending().collect(),
+        };
+
+        for global in addresses {
+            for op in &element.ops {
+                match op {
+                    MarchOp::Pause(_) => {}
+                    MarchOp::Write(value) | MarchOp::NwrcWrite(value) => {
+                        let nwrc = op.is_nwrc();
+                        for (index, memory) in memories.iter_mut().enumerate() {
+                            let config = memory.config();
+                            let local = trigger.local_address(global, config.words());
+                            let data = &delivered[value][index];
+                            if nwrc {
+                                memory.sram.write_nwrc(local, data)?;
+                            } else {
+                                memory.sram.write(local, data)?;
+                            }
+                            // The controller's expectation: the intended
+                            // background bits for this memory (NWRC writes
+                            // succeed on good cells, so the expectation is
+                            // the same as for a normal write).
+                            golden[index][local.index() as usize] =
+                                generator.pattern_for_width(background, *value, config.width());
+                        }
+                        cycles += 1;
+                    }
+                    MarchOp::Read(_) => {
+                        for (index, memory) in memories.iter_mut().enumerate() {
+                            let config = memory.config();
+                            let local = trigger.local_address(global, config.words());
+                            let observed = memory.sram.read(local)?;
+                            // Capture into the PSC and shift the response
+                            // back to the controller while the memory idles.
+                            let (bits, _) = pscs[index].serialize(&observed);
+                            let received = ParallelToSerialConverter::word_from_serial(&bits);
+                            let expected = golden[index][local.index() as usize].clone();
+                            comparator.compare(memory.id, local, background, label, &expected, &received);
+                        }
+                        // One read cycle plus a shift window sized for the
+                        // widest memory (the controller is designed for the
+                        // widest e-SRAM, Sec. 3.1).
+                        cycles += 1 + c_max as u64;
+                    }
+                    _ => cycles += 1,
+                }
+            }
+        }
+        Ok(cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_models::{FaultList, MemoryFault};
+    use sram_model::cell::CellCoord;
+    use sram_model::{MemConfig, MemoryId};
+
+    fn population() -> Vec<MemoryUnderDiagnosis> {
+        vec![
+            MemoryUnderDiagnosis::pristine(MemoryId::new(0), MemConfig::new(32, 8).unwrap()),
+            MemoryUnderDiagnosis::pristine(MemoryId::new(1), MemConfig::new(16, 4).unwrap()),
+        ]
+    }
+
+    fn with_fault(mut population: Vec<MemoryUnderDiagnosis>, memory: usize, fault: MemoryFault) -> Vec<MemoryUnderDiagnosis> {
+        fault.inject_into(&mut population[memory].sram).unwrap();
+        let mut list = FaultList::new();
+        list.push(fault);
+        population[memory].injected = list;
+        population
+    }
+
+    #[test]
+    fn clean_population_diagnoses_clean() {
+        let mut memories = population();
+        let result = FastScheme::new(10.0).diagnose(&mut memories).unwrap();
+        assert!(result.is_clean());
+        assert_eq!(result.iterations, 1);
+        assert!(result.cycles > 0);
+        assert_eq!(result.pause_ms, 0.0);
+    }
+
+    #[test]
+    fn stuck_at_fault_is_located_in_the_right_memory() {
+        let site = CellCoord::new(Address::new(5), 2);
+        let mut memories = with_fault(population(), 1, MemoryFault::stuck_at_1(site));
+        let result = FastScheme::new(10.0).diagnose(&mut memories).unwrap();
+        let sites = result.sites(MemoryId::new(1));
+        assert_eq!(sites.len(), 1);
+        let located = sites.iter().next().unwrap();
+        assert_eq!(located.address, Address::new(5));
+        assert_eq!(located.bit, 2);
+        assert!(result.sites(MemoryId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn faults_in_several_memories_are_located_in_one_pass() {
+        let mut memories = population();
+        MemoryFault::stuck_at_0(CellCoord::new(Address::new(3), 7))
+            .inject_into(&mut memories[0].sram)
+            .unwrap();
+        MemoryFault::transition_up(CellCoord::new(Address::new(9), 1))
+            .inject_into(&mut memories[1].sram)
+            .unwrap();
+        let result = FastScheme::new(10.0).diagnose(&mut memories).unwrap();
+        assert_eq!(result.iterations, 1);
+        assert!(!result.sites(MemoryId::new(0)).is_empty());
+        assert!(!result.sites(MemoryId::new(1)).is_empty());
+    }
+
+    #[test]
+    fn drf_is_located_with_nwrtm_and_missed_without() {
+        let site = CellCoord::new(Address::new(7), 3);
+        let fault = MemoryFault::data_retention_a(site);
+
+        let mut with_nwrtm = with_fault(population(), 0, fault);
+        let nwrtm_result = FastScheme::new(10.0).diagnose(&mut with_nwrtm).unwrap();
+        assert_eq!(nwrtm_result.sites(MemoryId::new(0)).len(), 1);
+        assert_eq!(nwrtm_result.pause_ms, 0.0, "NWRTM must not pause");
+
+        let mut without = with_fault(population(), 0, fault);
+        let plain_result = FastScheme::new(10.0)
+            .with_drf_mode(DrfMode::None)
+            .diagnose(&mut without)
+            .unwrap();
+        assert!(plain_result.is_clean(), "without NWRTM the DRF must escape");
+    }
+
+    #[test]
+    fn retention_pause_mode_also_finds_drf_but_costs_200ms() {
+        let site = CellCoord::new(Address::new(2), 0);
+        let mut memories = with_fault(population(), 0, MemoryFault::data_retention_a(site));
+        let result = FastScheme::new(10.0)
+            .with_drf_mode(DrfMode::RetentionPause(100))
+            .diagnose(&mut memories)
+            .unwrap();
+        assert_eq!(result.sites(MemoryId::new(0)).len(), 1);
+        assert_eq!(result.pause_ms, 200.0);
+        assert!(result.time_ms() > 200.0);
+    }
+
+    #[test]
+    fn cycle_count_matches_eq2_for_a_single_memory_population() {
+        // Eq. (2) with n = 32, c = 8: March CW without DRF diagnosis costs
+        // (5n + 5c + 5n(c+1)) + (3n + 3c + 2n(c+1)) * ceil(log2 c) cycles.
+        let n: u64 = 32;
+        let c: u64 = 8;
+        let mut memories =
+            vec![MemoryUnderDiagnosis::pristine(MemoryId::new(0), MemConfig::new(n, c as usize).unwrap())];
+        let result = FastScheme::new(10.0)
+            .with_drf_mode(DrfMode::None)
+            .diagnose(&mut memories)
+            .unwrap();
+        let expected = (5 * n + 5 * c + 5 * n * (c + 1)) + (3 * n + 3 * c + 2 * n * (c + 1)) * 3;
+        assert_eq!(result.cycles, expected);
+    }
+
+    #[test]
+    fn wrapped_smaller_memories_do_not_raise_false_failures() {
+        // A fault-free small memory sharing the address trigger with a
+        // larger one must not produce mismatches despite wrap-around
+        // read-modify-write redundancy.
+        let mut memories = vec![
+            MemoryUnderDiagnosis::pristine(MemoryId::new(0), MemConfig::new(64, 6).unwrap()),
+            MemoryUnderDiagnosis::pristine(MemoryId::new(1), MemConfig::new(8, 3).unwrap()),
+        ];
+        let result = FastScheme::new(10.0).diagnose(&mut memories).unwrap();
+        assert!(result.is_clean());
+    }
+
+    #[test]
+    fn lsb_first_delivery_misbehaves_for_heterogeneous_widths() {
+        // The Sec. 3.2 ablation: with LSB-first delivery the narrower
+        // memory receives corrupted backgrounds, so the controller's
+        // expectations no longer hold.
+        let mut memories = population();
+        let result = FastScheme::new(10.0)
+            .with_shift_order(ShiftOrder::LsbFirst)
+            .with_drf_mode(DrfMode::None)
+            .diagnose(&mut memories)
+            .unwrap();
+        assert!(
+            !result.sites(MemoryId::new(1)).is_empty() || !result.is_clean(),
+            "LSB-first delivery must corrupt diagnosis of the narrower memory"
+        );
+    }
+
+    #[test]
+    fn march_c_minus_ablation_runs_fewer_cycles_than_march_cw() {
+        let mut a = population();
+        let cw = FastScheme::new(10.0).with_drf_mode(DrfMode::None).diagnose(&mut a).unwrap();
+        let mut b = population();
+        let cm = FastScheme::new(10.0)
+            .with_drf_mode(DrfMode::None)
+            .with_march_c_minus()
+            .diagnose(&mut b)
+            .unwrap();
+        assert!(cm.cycles < cw.cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock period")]
+    fn non_positive_clock_period_panics() {
+        let _ = FastScheme::new(0.0);
+    }
+
+    #[test]
+    fn drf_mode_display() {
+        assert_eq!(DrfMode::Nwrtm.to_string(), "NWRTM");
+        assert_eq!(DrfMode::None.to_string(), "no DRF diagnosis");
+        assert_eq!(DrfMode::RetentionPause(100).to_string(), "retention pause 100 ms");
+        assert_eq!(DrfMode::default(), DrfMode::Nwrtm);
+    }
+}

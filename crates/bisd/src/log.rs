@@ -1,0 +1,198 @@
+//! Diagnosis records and the per-run diagnosis log.
+
+use march::DataBackground;
+use sram_model::{Address, DataWord, MemoryId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A located faulty bit cell: memory, word address and bit position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FaultSite {
+    /// Memory the faulty cell belongs to.
+    pub memory: MemoryId,
+    /// Word address of the faulty cell.
+    pub address: Address,
+    /// Bit position within the word.
+    pub bit: usize,
+}
+
+impl FaultSite {
+    /// Creates a fault site.
+    pub fn new(memory: MemoryId, address: Address, bit: usize) -> Self {
+        FaultSite { memory, address, bit }
+    }
+}
+
+impl fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}[{}]", self.memory, self.address, self.bit)
+    }
+}
+
+/// One comparator-array mismatch, i.e. the diagnosis information the
+/// paper says is "registered for on-chip repair or shifted out for
+/// off-line analysis": the failing address, the applied data background,
+/// the expected and observed data and the failing bit positions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DiagnosisRecord {
+    /// Memory in which the mismatch was observed.
+    pub memory: MemoryId,
+    /// Failing word address (local to that memory).
+    pub address: Address,
+    /// Data background active when the mismatch was observed.
+    pub background: DataBackground,
+    /// Label of the March element that detected the mismatch.
+    pub element: String,
+    /// Expected read data.
+    pub expected: DataWord,
+    /// Observed read data.
+    pub observed: DataWord,
+    /// Failing bit positions.
+    pub failing_bits: Vec<usize>,
+}
+
+impl DiagnosisRecord {
+    /// The fault sites this record contributes.
+    pub fn sites(&self) -> impl Iterator<Item = FaultSite> + '_ {
+        self.failing_bits.iter().map(move |&bit| FaultSite::new(self.memory, self.address, bit))
+    }
+}
+
+impl fmt::Display for DiagnosisRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} [{}]: expected {} observed {} (bits {:?})",
+            self.memory, self.address, self.element, self.expected, self.observed, self.failing_bits
+        )
+    }
+}
+
+/// Accumulated diagnosis information of one run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiagnosisLog {
+    records: Vec<DiagnosisRecord>,
+}
+
+impl DiagnosisLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        DiagnosisLog { records: Vec::new() }
+    }
+
+    /// Appends a record.
+    pub fn push(&mut self, record: DiagnosisRecord) {
+        self.records.push(record);
+    }
+
+    /// All records in detection order.
+    pub fn records(&self) -> &[DiagnosisRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True if no mismatch was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Distinct located fault sites, grouped per memory.
+    pub fn sites_by_memory(&self) -> BTreeMap<MemoryId, BTreeSet<FaultSite>> {
+        let mut map: BTreeMap<MemoryId, BTreeSet<FaultSite>> = BTreeMap::new();
+        for record in &self.records {
+            for site in record.sites() {
+                map.entry(site.memory).or_default().insert(site);
+            }
+        }
+        map
+    }
+
+    /// Every distinct located fault site.
+    pub fn sites(&self) -> BTreeSet<FaultSite> {
+        self.records.iter().flat_map(DiagnosisRecord::sites).collect()
+    }
+
+    /// Distinct failing word addresses of one memory (repair granularity).
+    pub fn failing_addresses(&self, memory: MemoryId) -> BTreeSet<Address> {
+        self.records
+            .iter()
+            .filter(|r| r.memory == memory)
+            .map(|r| r.address)
+            .collect()
+    }
+
+    /// Merges another log into this one.
+    pub fn merge(&mut self, other: DiagnosisLog) {
+        self.records.extend(other.records);
+    }
+}
+
+impl Extend<DiagnosisRecord> for DiagnosisLog {
+    fn extend<T: IntoIterator<Item = DiagnosisRecord>>(&mut self, iter: T) {
+        self.records.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(memory: u32, address: u64, bits: Vec<usize>) -> DiagnosisRecord {
+        DiagnosisRecord {
+            memory: MemoryId::new(memory),
+            address: Address::new(address),
+            background: DataBackground::Solid,
+            element: "M1".to_string(),
+            expected: DataWord::zero(4),
+            observed: DataWord::splat(true, 4),
+            failing_bits: bits,
+        }
+    }
+
+    #[test]
+    fn sites_expand_failing_bits() {
+        let r = record(0, 3, vec![1, 2]);
+        let sites: Vec<FaultSite> = r.sites().collect();
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0], FaultSite::new(MemoryId::new(0), Address::new(3), 1));
+        assert_eq!(sites[0].to_string(), "mem0:@0x3[1]");
+    }
+
+    #[test]
+    fn log_groups_sites_per_memory_and_deduplicates() {
+        let mut log = DiagnosisLog::new();
+        log.push(record(0, 3, vec![1]));
+        log.push(record(0, 3, vec![1])); // duplicate observation
+        log.push(record(1, 5, vec![0, 2]));
+        assert_eq!(log.len(), 3);
+        assert!(!log.is_empty());
+        let by_memory = log.sites_by_memory();
+        assert_eq!(by_memory[&MemoryId::new(0)].len(), 1);
+        assert_eq!(by_memory[&MemoryId::new(1)].len(), 2);
+        assert_eq!(log.sites().len(), 3);
+        assert_eq!(log.failing_addresses(MemoryId::new(1)), BTreeSet::from([Address::new(5)]));
+        assert!(log.failing_addresses(MemoryId::new(7)).is_empty());
+    }
+
+    #[test]
+    fn merge_and_extend_accumulate_records() {
+        let mut a = DiagnosisLog::new();
+        a.push(record(0, 0, vec![0]));
+        let mut b = DiagnosisLog::new();
+        b.push(record(1, 1, vec![1]));
+        a.merge(b);
+        a.extend(vec![record(2, 2, vec![2])]);
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn record_display_mentions_memory_and_element() {
+        let text = record(3, 9, vec![0]).to_string();
+        assert!(text.contains("mem3"));
+        assert!(text.contains("M1"));
+    }
+}

@@ -1,0 +1,44 @@
+//! Regenerates the paper's quantitative evaluation artefacts from the
+//! analytic models: the Sec. 4.2 case study (Eq. 1–4), the Sec. 4.3 area
+//! overhead and the extended defect-rate / geometry sweeps.
+//!
+//! Run with `cargo run -p esram-diag --example case_study_tables`.
+
+use esram_diag::area::AreaModel;
+use esram_diag::{defect_rate_sweep, size_sweep, AnalyticModel, CaseStudy, MemConfig};
+
+fn main() {
+    // E1–E4: the case study of Sec. 4.2.
+    let report = CaseStudy::date2005().evaluate();
+    println!("== Sec. 4.2 case study (n = 512, c = 100, t = 10 ns, 1 % defects) ==");
+    print!("{}", report.to_table());
+
+    // E6: the Sec. 4.3 area overhead.
+    println!("\n== Sec. 4.3 area overhead (benchmark e-SRAM) ==");
+    let area = AreaModel::date2005().report(MemConfig::date2005_benchmark());
+    println!("{area}");
+    println!(
+        "extra per IO bit: {:.1} cell equivalents (paper: 3); extra global wires: {}",
+        AreaModel::date2005().extra_per_bit().ceil(),
+        area.extra_global_wires()
+    );
+
+    // S1: defect-rate sweep.
+    println!("\n== defect-rate sweep (benchmark geometry) ==");
+    println!(
+        "{:>7} {:>8} {:>6} {:>12} {:>12} {:>8} {:>8}",
+        "rate", "faults", "k", "T[7,8] ms", "T_prop ms", "R", "R+DRF"
+    );
+    let model = AnalyticModel::date2005_benchmark();
+    for point in defect_rate_sweep(&model, &[0.001, 0.0025, 0.005, 0.01, 0.02, 0.05]) {
+        println!("{point}");
+    }
+
+    // S2: geometry sweep.
+    println!("\n== geometry sweep (1 % defects, 10 ns clock) ==");
+    println!("{:>11} {:>6} {:>12} {:>12} {:>8}", "geometry", "k", "T[7,8] ms", "T_prop ms", "R");
+    let geometries = [(64, 8), (128, 16), (256, 32), (512, 64), (512, 100), (1024, 100), (4096, 128)];
+    for point in size_sweep(&geometries, 10.0, 0.01) {
+        println!("{point}");
+    }
+}

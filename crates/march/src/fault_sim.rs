@@ -1,0 +1,242 @@
+//! RAMSES-style serial fault simulation of March programmes.
+//!
+//! For every fault instance of a universe the simulator builds a fresh
+//! memory, injects the single fault, runs the March programme and
+//! classifies the outcome: *detected* (any read mismatch), and *located*
+//! (the failing sites include the faulty cell — or the faulty address
+//! for decoder faults — which is what a diagnosis scheme needs in order
+//! to drive repair). This reproduces the coverage argument of the
+//! paper's Sec. 4.1: March CW matches the baseline's coverage on the
+//! classical fault classes, and only the NWRTM-merged variant reaches
+//! data-retention faults.
+
+use crate::background::DataBackground;
+use crate::engine::{MarchRunner, RunOutcome};
+use crate::ops::MarchTest;
+use crate::schedule::MarchSchedule;
+use crate::coverage::CoverageReport;
+use fault_models::{FaultList, MemoryFault};
+use sram_model::{MemConfig, Sram};
+
+/// Outcome of simulating one fault instance against one programme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSimOutcome {
+    /// The simulated fault.
+    pub fault: MemoryFault,
+    /// True if the programme produced at least one read mismatch.
+    pub detected: bool,
+    /// True if the failing sites include the fault's own site.
+    pub located: bool,
+    /// The raw run outcome (failures, operation count, pause time).
+    pub run: RunOutcome,
+}
+
+/// Fault simulator bound to one memory geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultSimulator {
+    config: MemConfig,
+}
+
+impl FaultSimulator {
+    /// Creates a simulator for the given geometry.
+    pub fn new(config: MemConfig) -> Self {
+        FaultSimulator { config }
+    }
+
+    /// Geometry the simulator builds memories with.
+    pub fn config(&self) -> MemConfig {
+        self.config
+    }
+
+    /// Simulates one fault against a single-background March test.
+    pub fn simulate_fault(
+        &self,
+        test: &MarchTest,
+        fault: &MemoryFault,
+        background: DataBackground,
+    ) -> FaultSimOutcome {
+        let schedule = MarchSchedule::single(test.clone(), background);
+        self.simulate_fault_schedule(&schedule, fault)
+    }
+
+    /// Simulates one fault against a multi-background schedule.
+    pub fn simulate_fault_schedule(&self, schedule: &MarchSchedule, fault: &MemoryFault) -> FaultSimOutcome {
+        let mut sram = Sram::new(self.config);
+        fault
+            .inject_into(&mut sram)
+            .expect("fault universe must match the simulator geometry");
+        let run = MarchRunner::new()
+            .run_schedule(&mut sram, schedule)
+            .expect("march programme must match the simulator geometry");
+        let detected = !run.passed();
+        let located = detected && self.locates(fault, &run);
+        FaultSimOutcome { fault: *fault, detected, located, run }
+    }
+
+    fn locates(&self, fault: &MemoryFault, run: &RunOutcome) -> bool {
+        match fault {
+            MemoryFault::Cell { coord, .. } => run
+                .failing_cells()
+                .iter()
+                .any(|(address, bit)| *address == coord.address && *bit == coord.bit),
+            MemoryFault::Decoder(decoder_fault) => run
+                .failing_addresses()
+                .iter()
+                .any(|address| *address == decoder_fault.address),
+        }
+    }
+
+    /// Coverage of a single-background March test over a fault universe,
+    /// simulating one fault at a time.
+    pub fn coverage(
+        &self,
+        test: &MarchTest,
+        universe: &FaultList,
+        backgrounds: &[DataBackground],
+    ) -> CoverageReport {
+        let background = backgrounds.first().copied().unwrap_or_default();
+        let mut phases = vec![crate::schedule::SchedulePhase::new(background, test.clone())];
+        for extra in backgrounds.iter().skip(1) {
+            phases.push(crate::schedule::SchedulePhase::new(*extra, test.clone()));
+        }
+        let schedule = MarchSchedule::new(test.name(), phases);
+        self.coverage_schedule(&schedule, universe)
+    }
+
+    /// Coverage of a multi-background schedule over a fault universe.
+    pub fn coverage_schedule(&self, schedule: &MarchSchedule, universe: &FaultList) -> CoverageReport {
+        let mut report = CoverageReport::new(schedule.name());
+        for fault in universe.iter() {
+            let outcome = self.simulate_fault_schedule(schedule, fault);
+            report.record(fault.class(), outcome.detected, outcome.located);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms;
+    use fault_models::{FaultClass, FaultUniverse};
+
+    fn config() -> MemConfig {
+        MemConfig::new(8, 4).unwrap()
+    }
+
+    fn universe() -> FaultUniverse {
+        FaultUniverse::new(config())
+    }
+
+    #[test]
+    fn march_c_minus_fully_covers_stuck_at_and_transition_faults() {
+        let sim = FaultSimulator::new(config());
+        let test = algorithms::march_c_minus();
+        let saf = sim.coverage(&test, &universe().stuck_at(), &[DataBackground::Solid]);
+        assert_eq!(saf.detection_coverage(), 1.0);
+        assert_eq!(saf.location_coverage(), 1.0);
+        let tf = sim.coverage(&test, &universe().transition(), &[DataBackground::Solid]);
+        assert_eq!(tf.detection_coverage(), 1.0);
+        assert_eq!(tf.location_coverage(), 1.0);
+    }
+
+    #[test]
+    fn march_c_minus_detects_address_decoder_faults() {
+        let sim = FaultSimulator::new(config());
+        let report = sim.coverage(
+            &algorithms::march_c_minus(),
+            &universe().address_decoder(),
+            &[DataBackground::Solid],
+        );
+        assert_eq!(report.detection_coverage(), 1.0);
+        assert!(report.location_coverage() > 0.9);
+    }
+
+    #[test]
+    fn mats_plus_has_lower_coupling_coverage_than_march_c_minus() {
+        let sim = FaultSimulator::new(config());
+        let coupling = universe().coupling();
+        let mats = sim.coverage(&algorithms::mats_plus(), &coupling, &[DataBackground::Solid]);
+        let mcm = sim.coverage(&algorithms::march_c_minus(), &coupling, &[DataBackground::Solid]);
+        assert!(
+            mcm.detection_coverage() > mats.detection_coverage(),
+            "March C- ({:.3}) must beat MATS+ ({:.3}) on coupling faults",
+            mcm.detection_coverage(),
+            mats.detection_coverage()
+        );
+    }
+
+    #[test]
+    fn march_cw_improves_intra_word_coupling_coverage_over_march_c_minus() {
+        let sim = FaultSimulator::new(config());
+        let coupling = universe().coupling();
+        let mcm = sim.coverage(&algorithms::march_c_minus(), &coupling, &[DataBackground::Solid]);
+        let cw = sim.coverage_schedule(&algorithms::march_cw(4), &coupling);
+        assert!(
+            cw.detection_coverage() >= mcm.detection_coverage(),
+            "March CW ({:.3}) must not lose coverage versus March C- ({:.3})",
+            cw.detection_coverage(),
+            mcm.detection_coverage()
+        );
+        assert!(cw.detection_coverage() > 0.9);
+    }
+
+    #[test]
+    fn data_retention_faults_are_invisible_without_nwrtm_or_pauses() {
+        let sim = FaultSimulator::new(config());
+        let drf = universe().data_retention();
+        let plain = sim.coverage(&algorithms::march_c_minus(), &drf, &[DataBackground::Solid]);
+        assert_eq!(plain.detection_coverage(), 0.0);
+        assert_eq!(plain.class(FaultClass::DataRetention).unwrap().detected, 0);
+    }
+
+    #[test]
+    fn nwrtm_merge_reaches_full_drf_coverage_without_pauses() {
+        let sim = FaultSimulator::new(config());
+        let drf = universe().data_retention();
+        let nwrtm = algorithms::with_nwrtm(&algorithms::march_c_minus());
+        let report = sim.coverage(&nwrtm, &drf, &[DataBackground::Solid]);
+        assert_eq!(report.detection_coverage(), 1.0);
+        assert_eq!(report.location_coverage(), 1.0);
+    }
+
+    #[test]
+    fn pause_based_test_also_reaches_full_drf_coverage() {
+        let sim = FaultSimulator::new(config());
+        let drf = universe().data_retention();
+        let paused = algorithms::with_retention_pauses(&algorithms::march_c_minus(), 100);
+        let report = sim.coverage(&paused, &drf, &[DataBackground::Solid]);
+        assert_eq!(report.detection_coverage(), 1.0);
+    }
+
+    #[test]
+    fn nwrtm_merge_does_not_disturb_classical_coverage() {
+        // Sec. 4.1: the proposed scheme keeps the baseline coverage and
+        // adds DRFs on top.
+        let sim = FaultSimulator::new(config());
+        let nwrtm = algorithms::with_nwrtm(&algorithms::march_c_minus());
+        let baseline_universe = universe().date2005_baseline();
+        let base = sim.coverage(
+            &algorithms::march_c_minus(),
+            &baseline_universe,
+            &[DataBackground::Solid],
+        );
+        let merged = sim.coverage(&nwrtm, &baseline_universe, &[DataBackground::Solid]);
+        assert!(merged.detection_coverage() >= base.detection_coverage());
+    }
+
+    #[test]
+    fn simulate_fault_reports_location_details() {
+        let sim = FaultSimulator::new(config());
+        let site = sram_model::cell::CellCoord::new(sram_model::Address::new(3), 1);
+        let outcome = sim.simulate_fault(
+            &algorithms::march_c_minus(),
+            &MemoryFault::stuck_at_0(site),
+            DataBackground::Solid,
+        );
+        assert!(outcome.detected);
+        assert!(outcome.located);
+        assert!(!outcome.run.failures.is_empty());
+        assert_eq!(outcome.fault, MemoryFault::stuck_at_0(site));
+    }
+}

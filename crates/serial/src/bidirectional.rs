@@ -1,0 +1,303 @@
+//! The bi-directional serial interface of the baseline architecture
+//! ([7,8], Fig. 2 of the paper).
+//!
+//! In the baseline, test data is shifted *through the memory cells
+//! themselves*: every read or write of a word is performed bit-serially
+//! (one clock per bit), and the element can be walked in either shift
+//! direction. Compared with the older single-directional interface this
+//! removes serial fault masking — every faulty cell can eventually be
+//! identified — but a March element can still pinpoint **at most one
+//! faulty cell per shift direction**, because once a mismatch has been
+//! observed the remaining serial stream of that element no longer
+//! carries attributable information. The diagnosis must therefore
+//! iterate the element until no new fault is found, which is what makes
+//! the baseline's diagnosis time depend on the defect rate.
+
+use march::{DataBackground, MarchElement, MarchOp};
+use sram_model::{Address, MemError, Sram};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Shift direction of a bi-directional element execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftDirection {
+    /// Shift towards the right neighbour (the RSMarch default).
+    Right,
+    /// Shift towards the left neighbour (the extra DiagRSMarch elements).
+    Left,
+}
+
+impl fmt::Display for ShiftDirection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShiftDirection::Right => write!(f, "right"),
+            ShiftDirection::Left => write!(f, "left"),
+        }
+    }
+}
+
+/// Result of executing one March element through the bi-directional
+/// serial interface.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerialElementOutcome {
+    /// The single newly located faulty cell, if any.
+    pub located: Option<(Address, usize)>,
+    /// Number of mismatching bits observed during the element (including
+    /// ones that could not be attributed to a new cell).
+    pub mismatches: usize,
+    /// Clock cycles consumed (every operation costs one cycle per bit).
+    pub cycles: u64,
+}
+
+/// Behavioural model of the bi-directional serial interface of [7,8].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BidirectionalSerialInterface {
+    width: usize,
+}
+
+impl BidirectionalSerialInterface {
+    /// Creates an interface for a memory with `width` IO bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "interface width must be non-zero");
+        BidirectionalSerialInterface { width }
+    }
+
+    /// IO width of the memory behind the interface.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Executes one March element bit-serially.
+    ///
+    /// `known_faults` is the set of cells already located in earlier
+    /// iterations; the element reports at most one faulty cell that is
+    /// not yet in that set (scanning bits in the shift direction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory-model validation errors.
+    pub fn run_element(
+        &self,
+        sram: &mut Sram,
+        element: &MarchElement,
+        background: DataBackground,
+        direction: ShiftDirection,
+        known_faults: &BTreeSet<(Address, usize)>,
+    ) -> Result<SerialElementOutcome, MemError> {
+        let config = sram.config();
+        let width = config.width();
+        debug_assert_eq!(width, self.width);
+        let addresses: Vec<Address> = match element.order {
+            march::AddressOrder::Ascending | march::AddressOrder::Either => config.addresses().collect(),
+            march::AddressOrder::Descending => config.addresses_descending().collect(),
+        };
+
+        let mut located: Option<(Address, usize)> = None;
+        let mut mismatches = 0usize;
+        let mut cycles = 0u64;
+
+        for address in addresses {
+            let row = address.index();
+            for op in &element.ops {
+                match op {
+                    MarchOp::Pause(ms) => {
+                        sram.elapse_retention(f64::from(*ms));
+                    }
+                    MarchOp::Write(value) => {
+                        let data = background.pattern_for(*value, width, row);
+                        sram.write(address, &data)?;
+                        cycles += width as u64;
+                    }
+                    MarchOp::NwrcWrite(value) => {
+                        let data = background.pattern_for(*value, width, row);
+                        sram.write_nwrc(address, &data)?;
+                        cycles += width as u64;
+                    }
+                    MarchOp::Read(value) => {
+                        let expected = background.pattern_for(*value, width, row);
+                        let observed = sram.read(address)?;
+                        cycles += width as u64;
+                        let mut failing = expected.mismatches(&observed);
+                        if direction == ShiftDirection::Left {
+                            failing.reverse();
+                        }
+                        for bit in failing {
+                            mismatches += 1;
+                            let site = (address, bit);
+                            if located.is_none() && !known_faults.contains(&site) {
+                                located = Some(site);
+                            }
+                        }
+                    }
+                    // `MarchOp` is non-exhaustive; unknown future
+                    // operations consume a serial slot but do nothing.
+                    _ => cycles += width as u64,
+                }
+            }
+        }
+
+        Ok(SerialElementOutcome { located, mismatches, cycles })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fault_models::MemoryFault;
+    use march::algorithms;
+    use sram_model::cell::CellCoord;
+    use sram_model::MemConfig;
+
+    fn memory_with_faults(faults: &[MemoryFault]) -> Sram {
+        let mut sram = Sram::new(MemConfig::new(8, 4).unwrap());
+        for fault in faults {
+            fault.inject_into(&mut sram).unwrap();
+        }
+        sram
+    }
+
+    fn detecting_element() -> MarchElement {
+        // ⇑(r0,w1) from March C- detects SA1 cells on the r0.
+        algorithms::march_c_minus().elements()[1].clone()
+    }
+
+    #[test]
+    fn every_operation_costs_one_cycle_per_bit() {
+        let mut sram = memory_with_faults(&[]);
+        let interface = BidirectionalSerialInterface::new(4);
+        let outcome = interface
+            .run_element(
+                &mut sram,
+                &detecting_element(),
+                DataBackground::Solid,
+                ShiftDirection::Right,
+                &BTreeSet::new(),
+            )
+            .unwrap();
+        // 2 ops per address, 8 addresses, 4 bits per op.
+        assert_eq!(outcome.cycles, 2 * 8 * 4);
+        assert!(outcome.located.is_none());
+        assert_eq!(outcome.mismatches, 0);
+    }
+
+    #[test]
+    fn a_single_element_locates_at_most_one_new_fault() {
+        let a = CellCoord::new(Address::new(1), 0);
+        let b = CellCoord::new(Address::new(5), 2);
+        let mut sram = memory_with_faults(&[MemoryFault::stuck_at_1(a), MemoryFault::stuck_at_1(b)]);
+        let interface = BidirectionalSerialInterface::new(4);
+        let outcome = interface
+            .run_element(
+                &mut sram,
+                &detecting_element(),
+                DataBackground::Solid,
+                ShiftDirection::Right,
+                &BTreeSet::new(),
+            )
+            .unwrap();
+        assert_eq!(outcome.located, Some((Address::new(1), 0)));
+        assert_eq!(outcome.mismatches, 2, "both faults raise mismatches but only one is attributed");
+    }
+
+    #[test]
+    fn iterating_with_known_faults_reaches_the_second_fault() {
+        let a = CellCoord::new(Address::new(1), 0);
+        let b = CellCoord::new(Address::new(5), 2);
+        let faults = [MemoryFault::stuck_at_1(a), MemoryFault::stuck_at_1(b)];
+        let interface = BidirectionalSerialInterface::new(4);
+
+        let mut known = BTreeSet::new();
+        for _ in 0..2 {
+            let mut sram = memory_with_faults(&faults);
+            let outcome = interface
+                .run_element(
+                    &mut sram,
+                    &detecting_element(),
+                    DataBackground::Solid,
+                    ShiftDirection::Right,
+                    &known,
+                )
+                .unwrap();
+            if let Some(site) = outcome.located {
+                known.insert(site);
+            }
+        }
+        assert!(known.contains(&(Address::new(1), 0)));
+        assert!(known.contains(&(Address::new(5), 2)));
+    }
+
+    #[test]
+    fn left_shift_direction_scans_bits_in_reverse_order() {
+        // Two faulty bits in the same word: right shift attributes the
+        // low bit, left shift the high bit.
+        let low = CellCoord::new(Address::new(3), 0);
+        let high = CellCoord::new(Address::new(3), 3);
+        let faults = [MemoryFault::stuck_at_1(low), MemoryFault::stuck_at_1(high)];
+        let interface = BidirectionalSerialInterface::new(4);
+
+        let mut right_mem = memory_with_faults(&faults);
+        let right = interface
+            .run_element(
+                &mut right_mem,
+                &detecting_element(),
+                DataBackground::Solid,
+                ShiftDirection::Right,
+                &BTreeSet::new(),
+            )
+            .unwrap();
+        assert_eq!(right.located, Some((Address::new(3), 0)));
+
+        let mut left_mem = memory_with_faults(&faults);
+        let left = interface
+            .run_element(
+                &mut left_mem,
+                &detecting_element(),
+                DataBackground::Solid,
+                ShiftDirection::Left,
+                &BTreeSet::new(),
+            )
+            .unwrap();
+        assert_eq!(left.located, Some((Address::new(3), 3)));
+    }
+
+    #[test]
+    fn no_serial_fault_masking_every_fault_is_eventually_identified() {
+        // Unlike the single-directional interface, repeated iterations
+        // identify every faulty cell, regardless of position.
+        let sites = [
+            CellCoord::new(Address::new(0), 0),
+            CellCoord::new(Address::new(2), 1),
+            CellCoord::new(Address::new(7), 3),
+        ];
+        let faults: Vec<MemoryFault> = sites.iter().map(|s| MemoryFault::stuck_at_1(*s)).collect();
+        let interface = BidirectionalSerialInterface::new(4);
+        let mut known = BTreeSet::new();
+        for _ in 0..sites.len() {
+            let mut sram = memory_with_faults(&faults);
+            let outcome = interface
+                .run_element(
+                    &mut sram,
+                    &detecting_element(),
+                    DataBackground::Solid,
+                    ShiftDirection::Right,
+                    &known,
+                )
+                .unwrap();
+            if let Some(site) = outcome.located {
+                known.insert(site);
+            }
+        }
+        assert_eq!(known.len(), sites.len());
+    }
+
+    #[test]
+    fn display_and_accessors() {
+        assert_eq!(ShiftDirection::Right.to_string(), "right");
+        assert_eq!(ShiftDirection::Left.to_string(), "left");
+        assert_eq!(BidirectionalSerialInterface::new(7).width(), 7);
+    }
+}

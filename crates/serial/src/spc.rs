@@ -1,0 +1,205 @@
+//! Serial-to-Parallel Converter (SPC), Fig. 4 of the paper.
+
+use sram_model::DataWord;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Order in which a multi-bit pattern is shifted over the serial line.
+///
+/// The paper shows (Sec. 3.2) that LSB-first delivery corrupts the
+/// backgrounds received by memories narrower than the widest one, while
+/// MSB-first delivery is correct for every width; both orders are
+/// modelled so the ablation benchmark can demonstrate the difference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShiftOrder {
+    /// Most significant bit first (the paper's proposed order).
+    MsbFirst,
+    /// Least significant bit first (the naive order).
+    LsbFirst,
+}
+
+impl fmt::Display for ShiftOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShiftOrder::MsbFirst => write!(f, "msb-first"),
+            ShiftOrder::LsbFirst => write!(f, "lsb-first"),
+        }
+    }
+}
+
+/// A serial-to-parallel converter local to one e-SRAM.
+///
+/// The SPC is a chain of D flip-flops as wide as the memory's IO; the
+/// shared Data Background Generator shifts the (widest-memory) pattern
+/// over a single serial wire and every SPC retains the last `width` bits
+/// it saw. Once delivery completes, [`parallel_out`](Self::parallel_out)
+/// is the word applied to the memory's data inputs for the whole March
+/// element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SerialToParallelConverter {
+    width: usize,
+    register: VecDeque<bool>,
+    shifts: u64,
+}
+
+impl SerialToParallelConverter {
+    /// Creates an SPC for a memory with `width` IO bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn new(width: usize) -> Self {
+        assert!(width > 0, "spc width must be non-zero");
+        SerialToParallelConverter {
+            width,
+            register: VecDeque::from(vec![false; width]),
+            shifts: 0,
+        }
+    }
+
+    /// Width of the converter (the memory's IO width).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total shift cycles performed since construction or reset.
+    pub fn shift_cycles(&self) -> u64 {
+        self.shifts
+    }
+
+    /// Shifts one bit into the converter (one clock cycle).
+    pub fn shift_in(&mut self, bit: bool) {
+        self.register.push_back(bit);
+        if self.register.len() > self.width {
+            self.register.pop_front();
+        }
+        self.shifts += 1;
+    }
+
+    /// Delivers a full pattern over the serial line in the given order,
+    /// one shift cycle per pattern bit, and returns the number of cycles
+    /// used (the pattern width).
+    pub fn deliver(&mut self, pattern: &DataWord, order: ShiftOrder) -> u64 {
+        let bits = match order {
+            ShiftOrder::MsbFirst => pattern.bits_msb_first(),
+            ShiftOrder::LsbFirst => pattern.bits_lsb_first(),
+        };
+        for bit in &bits {
+            self.shift_in(*bit);
+        }
+        bits.len() as u64
+    }
+
+    /// The word currently presented on the parallel outputs.
+    ///
+    /// Bit `i` of the result is the bit that was shifted in `i` cycles
+    /// before the most recent one, so after an MSB-first delivery the
+    /// output equals the low `width` bits of the delivered pattern.
+    pub fn parallel_out(&self) -> DataWord {
+        let mut word = DataWord::zero(self.width);
+        let len = self.register.len();
+        for i in 0..self.width {
+            word.set(i, self.register[len - 1 - i]);
+        }
+        word
+    }
+
+    /// Clears the register and the cycle counter.
+    pub fn reset(&mut self) {
+        self.register = VecDeque::from(vec![false; self.width]);
+        self.shifts = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msb_first_delivery_reproduces_the_pattern_for_the_widest_memory() {
+        // Paper example, Fig. 4(a): c = 4.
+        let pattern = DataWord::from_u64(0b1011, 4);
+        let mut spc = SerialToParallelConverter::new(4);
+        let cycles = spc.deliver(&pattern, ShiftOrder::MsbFirst);
+        assert_eq!(cycles, 4);
+        assert_eq!(spc.parallel_out(), pattern);
+        assert_eq!(spc.shift_cycles(), 4);
+    }
+
+    #[test]
+    fn msb_first_delivery_gives_narrow_memory_the_low_order_bits() {
+        // Paper example, Fig. 4(b): c = 4, c' = 3. The narrower SPC must
+        // end up with DP[2:0], not DP[3:1].
+        let dp = DataWord::from_u64(0b0111, 4);
+        let mut spc = SerialToParallelConverter::new(3);
+        spc.deliver(&dp, ShiftOrder::MsbFirst);
+        assert_eq!(spc.parallel_out(), dp.truncated_lsb(3));
+    }
+
+    #[test]
+    fn lsb_first_delivery_corrupts_narrow_memory_backgrounds() {
+        // Sec. 3.2: with LSB-first delivery the first (c - c') bits are
+        // shifted out of the narrow SPC and it is left with DP[c-1:c-c'].
+        let dp = DataWord::from_u64(0b0111, 4); // DP[3:0] = 0111
+        let mut spc = SerialToParallelConverter::new(3);
+        spc.deliver(&dp, ShiftOrder::LsbFirst);
+        let received = spc.parallel_out();
+        // Expected correct background would be 111; the naive order
+        // delivers DP[3:1] = 011 instead (bit-reversed into positions).
+        assert_ne!(received, dp.truncated_lsb(3));
+    }
+
+    #[test]
+    fn lsb_first_delivery_is_still_correct_for_the_widest_memory() {
+        let dp = DataWord::from_u64(0b1001, 4);
+        let mut spc = SerialToParallelConverter::new(4);
+        spc.deliver(&dp, ShiftOrder::LsbFirst);
+        // For the widest memory nothing is lost, but the word arrives
+        // bit-reversed relative to MSB-first conversion; the generator
+        // compensates only in the MSB-first design, which is why the
+        // proposed scheme fixes the order globally.
+        assert_eq!(spc.parallel_out().count_ones(), dp.count_ones());
+    }
+
+    #[test]
+    fn successive_deliveries_overwrite_previous_patterns() {
+        let mut spc = SerialToParallelConverter::new(4);
+        spc.deliver(&DataWord::from_u64(0b1111, 4), ShiftOrder::MsbFirst);
+        spc.deliver(&DataWord::from_u64(0b0010, 4), ShiftOrder::MsbFirst);
+        assert_eq!(spc.parallel_out(), DataWord::from_u64(0b0010, 4));
+        assert_eq!(spc.shift_cycles(), 8);
+    }
+
+    #[test]
+    fn reset_clears_state_and_counters() {
+        let mut spc = SerialToParallelConverter::new(4);
+        spc.deliver(&DataWord::from_u64(0b1111, 4), ShiftOrder::MsbFirst);
+        spc.reset();
+        assert_eq!(spc.parallel_out(), DataWord::zero(4));
+        assert_eq!(spc.shift_cycles(), 0);
+    }
+
+    #[test]
+    fn a_wide_pattern_delivered_to_every_width_keeps_low_bits_msb_first() {
+        // Deliver the 100-bit benchmark background to SPCs of several
+        // narrower widths; each must retain the low-order bits.
+        let wide = DataWord::checkerboard(100, 0, false);
+        for width in [1usize, 3, 8, 33, 64, 100] {
+            let mut spc = SerialToParallelConverter::new(width);
+            spc.deliver(&wide, ShiftOrder::MsbFirst);
+            assert_eq!(spc.parallel_out(), wide.truncated_lsb(width), "width {width}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_width_panics() {
+        let _ = SerialToParallelConverter::new(0);
+    }
+
+    #[test]
+    fn shift_order_display() {
+        assert_eq!(ShiftOrder::MsbFirst.to_string(), "msb-first");
+        assert_eq!(ShiftOrder::LsbFirst.to_string(), "lsb-first");
+    }
+}

@@ -1,0 +1,228 @@
+//! Port-operation trace and cycle accounting.
+//!
+//! Every access performed against an [`Sram`](crate::array::Sram) is
+//! recorded so that the diagnosis schemes built on top can be checked
+//! for the exact operation sequences the paper describes (e.g. that the
+//! PSC shift phase keeps the memory in idle/no-op mode, or that the
+//! NWRTM variant adds exactly two NWRC operations per write).
+
+use crate::config::Address;
+use crate::word::DataWord;
+use std::fmt;
+
+/// The kind of a single memory port operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum OpKind {
+    /// Normal read cycle.
+    Read,
+    /// Normal write cycle.
+    Write,
+    /// No Write Recovery Cycle (NWRTM special write).
+    NwrcWrite,
+    /// Idle / no-op cycle (memory not accessed, e.g. during PSC shift).
+    NoOp,
+    /// Read cycle whose data is ignored (memories without an idle mode
+    /// are kept in read mode during PSC shifting, Sec. 3.3).
+    ReadIgnored,
+    /// Retention pause (not a clock cycle; duration tracked separately).
+    RetentionPause,
+}
+
+impl OpKind {
+    /// True if the operation consumes one memory clock cycle.
+    pub fn is_clocked(self) -> bool {
+        !matches!(self, OpKind::RetentionPause)
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            OpKind::Read => "R",
+            OpKind::Write => "W",
+            OpKind::NwrcWrite => "Nw",
+            OpKind::NoOp => "nop",
+            OpKind::ReadIgnored => "R(ignored)",
+            OpKind::RetentionPause => "pause",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One recorded memory port operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemOp {
+    /// Kind of the operation.
+    pub kind: OpKind,
+    /// Address the operation targeted (if any).
+    pub address: Option<Address>,
+    /// Data written or observed (if any).
+    pub data: Option<DataWord>,
+    /// Retention pause duration in milliseconds (only for pauses).
+    pub pause_ms: f64,
+}
+
+impl MemOp {
+    /// Creates a read record.
+    pub fn read(address: Address, observed: DataWord) -> Self {
+        MemOp { kind: OpKind::Read, address: Some(address), data: Some(observed), pause_ms: 0.0 }
+    }
+
+    /// Creates a write record.
+    pub fn write(address: Address, data: DataWord) -> Self {
+        MemOp { kind: OpKind::Write, address: Some(address), data: Some(data), pause_ms: 0.0 }
+    }
+
+    /// Creates an NWRC write record.
+    pub fn nwrc_write(address: Address, data: DataWord) -> Self {
+        MemOp { kind: OpKind::NwrcWrite, address: Some(address), data: Some(data), pause_ms: 0.0 }
+    }
+
+    /// Creates a no-op record.
+    pub fn no_op() -> Self {
+        MemOp { kind: OpKind::NoOp, address: None, data: None, pause_ms: 0.0 }
+    }
+
+    /// Creates an ignored-read record.
+    pub fn read_ignored(address: Address) -> Self {
+        MemOp { kind: OpKind::ReadIgnored, address: Some(address), data: None, pause_ms: 0.0 }
+    }
+
+    /// Creates a retention-pause record.
+    pub fn retention_pause(pause_ms: f64) -> Self {
+        MemOp { kind: OpKind::RetentionPause, address: None, data: None, pause_ms }
+    }
+}
+
+/// Ordered log of the operations applied to a memory, with cycle and
+/// pause-time accounting.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OperationTrace {
+    ops: Vec<MemOp>,
+    enabled: bool,
+    clock_cycles: u64,
+    pause_ms: f64,
+}
+
+impl OperationTrace {
+    /// Creates an empty trace with recording of individual operations
+    /// disabled (cycle counting is always on).
+    pub fn new() -> Self {
+        OperationTrace { ops: Vec::new(), enabled: false, clock_cycles: 0, pause_ms: 0.0 }
+    }
+
+    /// Enables or disables recording of individual operations.
+    ///
+    /// Cycle and pause accounting is unaffected; disabling recording only
+    /// avoids storing every [`MemOp`], which matters for long diagnosis
+    /// runs over large memories.
+    pub fn set_recording(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// True if individual operations are being recorded.
+    pub fn is_recording(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records an operation, updating cycle and pause accounting.
+    pub fn record(&mut self, op: MemOp) {
+        if op.kind.is_clocked() {
+            self.clock_cycles += 1;
+        } else {
+            self.pause_ms += op.pause_ms;
+        }
+        if self.enabled {
+            self.ops.push(op);
+        }
+    }
+
+    /// Recorded operations (empty unless recording was enabled).
+    pub fn ops(&self) -> &[MemOp] {
+        &self.ops
+    }
+
+    /// Total clocked memory cycles seen so far.
+    pub fn clock_cycles(&self) -> u64 {
+        self.clock_cycles
+    }
+
+    /// Total retention-pause time in milliseconds seen so far.
+    pub fn pause_ms(&self) -> f64 {
+        self.pause_ms
+    }
+
+    /// Number of recorded operations of the given kind.
+    pub fn count(&self, kind: OpKind) -> usize {
+        self.ops.iter().filter(|op| op.kind == kind).count()
+    }
+
+    /// Clears recorded operations and resets accounting.
+    pub fn reset(&mut self) {
+        self.ops.clear();
+        self.clock_cycles = 0;
+        self.pause_ms = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_accounting_counts_clocked_ops_only() {
+        let mut trace = OperationTrace::new();
+        trace.record(MemOp::write(Address::new(0), DataWord::zero(4)));
+        trace.record(MemOp::read(Address::new(0), DataWord::zero(4)));
+        trace.record(MemOp::no_op());
+        trace.record(MemOp::retention_pause(100.0));
+        assert_eq!(trace.clock_cycles(), 3);
+        assert!((trace.pause_ms() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recording_is_off_by_default_but_accounting_still_works() {
+        let mut trace = OperationTrace::new();
+        assert!(!trace.is_recording());
+        trace.record(MemOp::no_op());
+        assert!(trace.ops().is_empty());
+        assert_eq!(trace.clock_cycles(), 1);
+    }
+
+    #[test]
+    fn recording_captures_ops_in_order() {
+        let mut trace = OperationTrace::new();
+        trace.set_recording(true);
+        trace.record(MemOp::write(Address::new(1), DataWord::splat(true, 2)));
+        trace.record(MemOp::nwrc_write(Address::new(1), DataWord::splat(true, 2)));
+        trace.record(MemOp::read_ignored(Address::new(1)));
+        assert_eq!(trace.ops().len(), 3);
+        assert_eq!(trace.ops()[0].kind, OpKind::Write);
+        assert_eq!(trace.ops()[1].kind, OpKind::NwrcWrite);
+        assert_eq!(trace.ops()[2].kind, OpKind::ReadIgnored);
+        assert_eq!(trace.count(OpKind::NwrcWrite), 1);
+        assert_eq!(trace.count(OpKind::Read), 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut trace = OperationTrace::new();
+        trace.set_recording(true);
+        trace.record(MemOp::no_op());
+        trace.record(MemOp::retention_pause(50.0));
+        trace.reset();
+        assert_eq!(trace.clock_cycles(), 0);
+        assert_eq!(trace.pause_ms(), 0.0);
+        assert!(trace.ops().is_empty());
+        assert!(trace.is_recording());
+    }
+
+    #[test]
+    fn op_kind_display_and_clocked() {
+        assert_eq!(OpKind::Read.to_string(), "R");
+        assert_eq!(OpKind::NwrcWrite.to_string(), "Nw");
+        assert!(OpKind::NoOp.is_clocked());
+        assert!(!OpKind::RetentionPause.is_clocked());
+    }
+}

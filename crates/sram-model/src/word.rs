@@ -1,0 +1,362 @@
+//! Arbitrary-width data words and standard memory-test data backgrounds.
+
+use crate::error::MemError;
+use std::fmt;
+
+/// An arbitrary-width binary word, bit 0 being the least significant bit.
+///
+/// The benchmark e-SRAM of the paper is 100 bits wide, so a fixed-size
+/// integer is not sufficient; `DataWord` stores its bits in 64-bit limbs
+/// and carries its width explicitly. Widths of co-existing memories may
+/// differ (the paper's SPC discussion uses `c = 4` and `c' = 3`), so all
+/// port operations validate widths at run time.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DataWord {
+    width: usize,
+    limbs: Vec<u64>,
+}
+
+impl DataWord {
+    /// Creates an all-zero word of the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn zero(width: usize) -> Self {
+        assert!(width > 0, "data word width must be non-zero");
+        let limbs = vec![0u64; width.div_ceil(64)];
+        DataWord { width, limbs }
+    }
+
+    /// Creates a word of the given width with every bit set to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn splat(value: bool, width: usize) -> Self {
+        let mut word = DataWord::zero(width);
+        if value {
+            for bit in 0..width {
+                word.set(bit, true);
+            }
+        }
+        word
+    }
+
+    /// Creates a word from an iterator of bits, LSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the iterator is empty.
+    pub fn from_bits_lsb_first<I: IntoIterator<Item = bool>>(bits: I) -> Self {
+        let bits: Vec<bool> = bits.into_iter().collect();
+        assert!(!bits.is_empty(), "data word must have at least one bit");
+        let mut word = DataWord::zero(bits.len());
+        for (index, bit) in bits.iter().enumerate() {
+            word.set(index, *bit);
+        }
+        word
+    }
+
+    /// Creates a word of width `width` from the low bits of `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or greater than 64.
+    pub fn from_u64(value: u64, width: usize) -> Self {
+        assert!(width > 0 && width <= 64, "from_u64 supports widths 1..=64");
+        let mut word = DataWord::zero(width);
+        for bit in 0..width {
+            word.set(bit, (value >> bit) & 1 == 1);
+        }
+        word
+    }
+
+    /// Checkerboard background: bit `i` of word at row `row` is
+    /// `(i + row) % 2 == 0` inverted or not depending on `inverted`.
+    ///
+    /// Checkerboard backgrounds are part of the DiagRSMarch extension in
+    /// the baseline scheme and of March CW's multiple data backgrounds.
+    pub fn checkerboard(width: usize, row: u64, inverted: bool) -> Self {
+        let mut word = DataWord::zero(width);
+        for bit in 0..width {
+            let phase = (bit as u64 + row) % 2 == 0;
+            word.set(bit, phase ^ inverted);
+        }
+        word
+    }
+
+    /// Column-stripe background: even bit positions carry `!inverted`,
+    /// odd positions carry `inverted`, independent of the row.
+    pub fn column_stripe(width: usize, inverted: bool) -> Self {
+        let mut word = DataWord::zero(width);
+        for bit in 0..width {
+            word.set(bit, (bit % 2 == 0) ^ inverted);
+        }
+        word
+    }
+
+    /// Row-stripe background: the whole word is `row % 2 == 0` XOR `inverted`.
+    pub fn row_stripe(width: usize, row: u64, inverted: bool) -> Self {
+        DataWord::splat((row % 2 == 0) ^ inverted, width)
+    }
+
+    /// Width of the word in bits.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Returns bit `index` (LSB = 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    pub fn bit(&self, index: usize) -> bool {
+        assert!(index < self.width, "bit index {index} out of range for width {}", self.width);
+        (self.limbs[index / 64] >> (index % 64)) & 1 == 1
+    }
+
+    /// Fallible accessor for bit `index`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::BitOutOfRange`] if `index >= width`.
+    pub fn try_bit(&self, index: usize) -> Result<bool, MemError> {
+        if index < self.width {
+            Ok(self.bit(index))
+        } else {
+            Err(MemError::BitOutOfRange { bit: index, width: self.width })
+        }
+    }
+
+    /// Sets bit `index` (LSB = 0) to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= width`.
+    pub fn set(&mut self, index: usize, value: bool) {
+        assert!(index < self.width, "bit index {index} out of range for width {}", self.width);
+        let limb = &mut self.limbs[index / 64];
+        let mask = 1u64 << (index % 64);
+        if value {
+            *limb |= mask;
+        } else {
+            *limb &= !mask;
+        }
+    }
+
+    /// Returns a copy with every bit inverted.
+    pub fn inverted(&self) -> Self {
+        let mut out = self.clone();
+        for bit in 0..self.width {
+            out.set(bit, !self.bit(bit));
+        }
+        out
+    }
+
+    /// Bitwise XOR with another word of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn xor(&self, other: &DataWord) -> DataWord {
+        assert_eq!(self.width, other.width, "xor requires equal widths");
+        let mut out = DataWord::zero(self.width);
+        for bit in 0..self.width {
+            out.set(bit, self.bit(bit) ^ other.bit(bit));
+        }
+        out
+    }
+
+    /// Indices of bits set to one.
+    pub fn ones(&self) -> Vec<usize> {
+        (0..self.width).filter(|&b| self.bit(b)).collect()
+    }
+
+    /// Number of bits set to one.
+    pub fn count_ones(&self) -> usize {
+        (0..self.width).filter(|&b| self.bit(b)).count()
+    }
+
+    /// Returns the bit positions where `self` and `other` differ.
+    ///
+    /// This is what the BISD comparator array computes per memory: the
+    /// failing bit positions of a response against the expected value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn mismatches(&self, other: &DataWord) -> Vec<usize> {
+        assert_eq!(self.width, other.width, "mismatches requires equal widths");
+        (0..self.width).filter(|&b| self.bit(b) != other.bit(b)).collect()
+    }
+
+    /// Bits of the word, LSB first.
+    pub fn bits_lsb_first(&self) -> Vec<bool> {
+        (0..self.width).map(|b| self.bit(b)).collect()
+    }
+
+    /// Bits of the word, MSB first.
+    ///
+    /// The paper's SPC delivers patterns MSB first (Sec. 3.2) so that
+    /// narrower memories receive the correct low-order background bits.
+    pub fn bits_msb_first(&self) -> Vec<bool> {
+        (0..self.width).rev().map(|b| self.bit(b)).collect()
+    }
+
+    /// Truncates the word to its `new_width` least significant bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width` is zero or greater than the current width.
+    pub fn truncated_lsb(&self, new_width: usize) -> DataWord {
+        assert!(new_width > 0 && new_width <= self.width);
+        DataWord::from_bits_lsb_first((0..new_width).map(|b| self.bit(b)))
+    }
+
+    /// Interprets the word as a `u64` if it fits.
+    pub fn as_u64(&self) -> Option<u64> {
+        if self.width > 64 && self.ones().iter().any(|&b| b >= 64) {
+            return None;
+        }
+        let mut value = 0u64;
+        for bit in 0..self.width.min(64) {
+            if self.bit(bit) {
+                value |= 1 << bit;
+            }
+        }
+        Some(value)
+    }
+}
+
+impl fmt::Display for DataWord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for bit in (0..self.width).rev() {
+            write!(f, "{}", if self.bit(bit) { '1' } else { '0' })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for DataWord {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        DataWord::from_bits_lsb_first(iter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_splat() {
+        let z = DataWord::zero(100);
+        assert_eq!(z.width(), 100);
+        assert_eq!(z.count_ones(), 0);
+        let o = DataWord::splat(true, 100);
+        assert_eq!(o.count_ones(), 100);
+        assert_eq!(o.inverted(), z);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_width_panics() {
+        let _ = DataWord::zero(0);
+    }
+
+    #[test]
+    fn set_and_get_across_limb_boundary() {
+        let mut w = DataWord::zero(130);
+        w.set(0, true);
+        w.set(63, true);
+        w.set(64, true);
+        w.set(129, true);
+        assert!(w.bit(0) && w.bit(63) && w.bit(64) && w.bit(129));
+        assert!(!w.bit(1) && !w.bit(65) && !w.bit(128));
+        assert_eq!(w.count_ones(), 4);
+        w.set(64, false);
+        assert!(!w.bit(64));
+        assert_eq!(w.count_ones(), 3);
+    }
+
+    #[test]
+    fn from_u64_round_trips() {
+        let w = DataWord::from_u64(0b1011, 4);
+        assert_eq!(w.as_u64(), Some(0b1011));
+        assert_eq!(w.to_string(), "1011");
+        let w = DataWord::from_u64(u64::MAX, 64);
+        assert_eq!(w.as_u64(), Some(u64::MAX));
+    }
+
+    #[test]
+    fn try_bit_reports_out_of_range() {
+        let w = DataWord::zero(4);
+        assert_eq!(w.try_bit(3), Ok(false));
+        assert_eq!(w.try_bit(4), Err(MemError::BitOutOfRange { bit: 4, width: 4 }));
+    }
+
+    #[test]
+    fn checkerboard_alternates_within_row_and_between_rows() {
+        let row0 = DataWord::checkerboard(4, 0, false);
+        let row1 = DataWord::checkerboard(4, 1, false);
+        assert_eq!(row0.to_string(), "0101"); // bit0=1, bit1=0, ...
+        assert_eq!(row1.to_string(), "1010");
+        assert_eq!(row0.inverted(), DataWord::checkerboard(4, 0, true));
+        assert_eq!(row0, row1.inverted());
+    }
+
+    #[test]
+    fn column_stripe_is_row_independent() {
+        let s = DataWord::column_stripe(5, false);
+        assert_eq!(s.to_string(), "10101");
+        assert_eq!(DataWord::column_stripe(5, true), s.inverted());
+    }
+
+    #[test]
+    fn row_stripe_alternates_by_row() {
+        assert_eq!(DataWord::row_stripe(3, 0, false), DataWord::splat(true, 3));
+        assert_eq!(DataWord::row_stripe(3, 1, false), DataWord::splat(false, 3));
+        assert_eq!(DataWord::row_stripe(3, 1, true), DataWord::splat(true, 3));
+    }
+
+    #[test]
+    fn mismatches_and_xor_agree() {
+        let a = DataWord::from_u64(0b1100, 4);
+        let b = DataWord::from_u64(0b1010, 4);
+        assert_eq!(a.mismatches(&b), vec![1, 2]);
+        assert_eq!(a.xor(&b).ones(), vec![1, 2]);
+        assert!(a.mismatches(&a).is_empty());
+    }
+
+    #[test]
+    fn msb_first_ordering_matches_paper_spc_discussion() {
+        // DP[3:0] = 0b0111 delivered MSB first is [false, true, true, true].
+        let dp = DataWord::from_u64(0b0111, 4);
+        assert_eq!(dp.bits_msb_first(), vec![false, true, true, true]);
+        assert_eq!(dp.bits_lsb_first(), vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn truncated_lsb_keeps_low_bits() {
+        let dp = DataWord::from_u64(0b0111, 4);
+        let narrow = dp.truncated_lsb(3);
+        assert_eq!(narrow.width(), 3);
+        assert_eq!(narrow.as_u64(), Some(0b111));
+    }
+
+    #[test]
+    fn as_u64_rejects_wide_words_with_high_bits() {
+        let mut wide = DataWord::zero(100);
+        wide.set(80, true);
+        assert_eq!(wide.as_u64(), None);
+        let low = DataWord::zero(100);
+        assert_eq!(low.as_u64(), Some(0));
+    }
+
+    #[test]
+    fn from_iterator_collect() {
+        let w: DataWord = vec![true, false, true].into_iter().collect();
+        assert_eq!(w.width(), 3);
+        assert_eq!(w.as_u64(), Some(0b101));
+    }
+}
