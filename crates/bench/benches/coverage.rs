@@ -4,8 +4,7 @@
 use bench::print_section;
 use criterion::{criterion_group, criterion_main, Criterion};
 use esram_diag::{
-    algorithms, scheme_coverage, DataBackground, DrfMode, FastScheme, FaultUniverse, HuangScheme,
-    MemConfig,
+    algorithms, scheme_coverage, DataBackground, DrfMode, FastScheme, FaultUniverse, HuangScheme, MemConfig,
 };
 use march::FaultSimulator;
 use std::hint::black_box;
@@ -22,8 +21,11 @@ fn print_coverage_tables() {
 
     let baseline = scheme_coverage(&HuangScheme::new(10.0), config, &universe);
     println!("{}", baseline.to_table());
-    let proposed_no_drf =
-        scheme_coverage(&FastScheme::new(10.0).with_drf_mode(DrfMode::None), config, &universe);
+    let proposed_no_drf = scheme_coverage(
+        &FastScheme::new(10.0).with_drf_mode(DrfMode::None),
+        config,
+        &universe,
+    );
     println!("{}", proposed_no_drf.to_table());
     let proposed = scheme_coverage(&FastScheme::new(10.0), config, &universe);
     println!("{}", proposed.to_table());

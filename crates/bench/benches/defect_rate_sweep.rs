@@ -19,11 +19,16 @@ fn print_sweep() {
     }
 
     print_section("S1 (simulated): scaled-down population (4 x 64x16 e-SRAMs)");
-    println!("{:>7} {:>10} {:>14} {:>14} {:>8}", "rate", "faults", "baseline ms", "proposed ms", "R");
+    println!(
+        "{:>7} {:>10} {:>14} {:>14} {:>8}",
+        "rate", "faults", "baseline ms", "proposed ms", "R"
+    );
     for rate in [0.0025, 0.005, 0.01, 0.02, 0.04] {
         let mut baseline_soc = small_population(4, 64, 16, rate, 11);
         let faults = baseline_soc.injected_faults();
-        let baseline = HuangScheme::new(10.0).diagnose(baseline_soc.memories_mut()).expect("baseline");
+        let baseline = HuangScheme::new(10.0)
+            .diagnose(baseline_soc.memories_mut())
+            .expect("baseline");
         let mut fast_soc = small_population(4, 64, 16, rate, 11);
         let fast = FastScheme::new(10.0)
             .with_drf_mode(DrfMode::None)
@@ -38,7 +43,9 @@ fn print_sweep() {
             fast.speedup_versus(&baseline)
         );
     }
-    println!("\nshape check: R grows with the defect rate (the baseline iterates more), proposed time is flat");
+    println!(
+        "\nshape check: R grows with the defect rate (the baseline iterates more), proposed time is flat"
+    );
 }
 
 fn bench_sweep(c: &mut Criterion) {
@@ -54,7 +61,14 @@ fn bench_sweep(c: &mut Criterion) {
     group.bench_function("simulated_point_1pct", |b| {
         b.iter_batched(
             || small_population(4, 64, 16, 0.01, 11),
-            |mut soc| black_box(HuangScheme::new(10.0).diagnose(soc.memories_mut()).expect("run").cycles),
+            |mut soc| {
+                black_box(
+                    HuangScheme::new(10.0)
+                        .diagnose(soc.memories_mut())
+                        .expect("run")
+                        .cycles,
+                )
+            },
             criterion::BatchSize::SmallInput,
         )
     });

@@ -17,14 +17,18 @@ fn print_drf_comparison() {
     let mut rows = Vec::new();
     {
         let mut soc = drf_population(2, 64, 16, 0.02, 7);
-        let result = HuangScheme::new(10.0).diagnose(soc.memories_mut()).expect("baseline");
+        let result = HuangScheme::new(10.0)
+            .diagnose(soc.memories_mut())
+            .expect("baseline");
         let score = soc.score(&result);
         rows.push(("baseline [7,8] (no DRF diagnosis)", result, score));
     }
     {
         let mut soc = drf_population(2, 64, 16, 0.02, 7);
-        let result =
-            HuangScheme::new(10.0).with_retention_pause(100).diagnose(soc.memories_mut()).expect("baseline+pause");
+        let result = HuangScheme::new(10.0)
+            .with_retention_pause(100)
+            .diagnose(soc.memories_mut())
+            .expect("baseline+pause");
         let score = soc.score(&result);
         rows.push(("baseline [7,8] + 2x100 ms pauses", result, score));
     }
@@ -39,7 +43,9 @@ fn print_drf_comparison() {
     }
     {
         let mut soc = drf_population(2, 64, 16, 0.02, 7);
-        let result = FastScheme::new(10.0).diagnose(soc.memories_mut()).expect("fast+nwrtm");
+        let result = FastScheme::new(10.0)
+            .diagnose(soc.memories_mut())
+            .expect("fast+nwrtm");
         let score = soc.score(&result);
         rows.push(("proposed + NWRTM (paper)", result, score));
     }
@@ -54,7 +60,9 @@ fn print_drf_comparison() {
             result.located_count()
         );
     }
-    println!("\npaper claim: NWRTM reaches full DRF coverage with ~2 extra operations per address and no pause");
+    println!(
+        "\npaper claim: NWRTM reaches full DRF coverage with ~2 extra operations per address and no pause"
+    );
 }
 
 fn bench_drf(c: &mut Criterion) {
@@ -66,7 +74,14 @@ fn bench_drf(c: &mut Criterion) {
     group.bench_function("nwrtm_diagnosis_2x64x16", |b| {
         b.iter_batched(
             || drf_population(2, 64, 16, 0.02, 7),
-            |mut soc| black_box(FastScheme::new(10.0).diagnose(soc.memories_mut()).expect("run").cycles),
+            |mut soc| {
+                black_box(
+                    FastScheme::new(10.0)
+                        .diagnose(soc.memories_mut())
+                        .expect("run")
+                        .cycles,
+                )
+            },
             criterion::BatchSize::SmallInput,
         )
     });

@@ -6,8 +6,8 @@ use bench::print_section;
 use criterion::{criterion_group, criterion_main, Criterion};
 use esram_diag::{DataWord, DiagnosisScheme, DrfMode, FastScheme, MemConfig};
 use serial::{
-    BidirectionalSerialInterface, ParallelToSerialConverter, PatternDeliveryBus,
-    SerialToParallelConverter, ShiftDirection, ShiftOrder,
+    BidirectionalSerialInterface, ParallelToSerialConverter, PatternDeliveryBus, SerialToParallelConverter,
+    ShiftDirection, ShiftOrder,
 };
 use sram_model::Sram;
 use std::collections::BTreeSet;
@@ -35,9 +35,18 @@ fn print_interface_comparison() {
     msb_bus.broadcast(&wide);
     let mut lsb_bus = PatternDeliveryBus::with_order(&[4, 3], ShiftOrder::LsbFirst);
     lsb_bus.broadcast(&wide);
-    println!("pattern DP[3:0] = {wide}; narrow memory (c' = 3) expects {}", wide.truncated_lsb(3));
-    println!("  MSB-first delivery -> narrow memory receives {}", msb_bus.pattern_at(1));
-    println!("  LSB-first delivery -> narrow memory receives {}", lsb_bus.pattern_at(1));
+    println!(
+        "pattern DP[3:0] = {wide}; narrow memory (c' = 3) expects {}",
+        wide.truncated_lsb(3)
+    );
+    println!(
+        "  MSB-first delivery -> narrow memory receives {}",
+        msb_bus.pattern_at(1)
+    );
+    println!(
+        "  LSB-first delivery -> narrow memory receives {}",
+        lsb_bus.pattern_at(1)
+    );
 
     // End-to-end effect: a pristine heterogeneous population diagnosed
     // with the wrong delivery order raises spurious mismatches.

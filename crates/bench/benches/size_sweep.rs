@@ -9,7 +9,10 @@ use std::time::Duration;
 
 fn print_sweep() {
     print_section("S2: geometry sweep, analytic (1 % defects, 10 ns clock)");
-    println!("{:>11} {:>6} {:>12} {:>12} {:>8}", "geometry", "k", "T[7,8] ms", "T_prop ms", "R");
+    println!(
+        "{:>11} {:>6} {:>12} {:>12} {:>8}",
+        "geometry", "k", "T[7,8] ms", "T_prop ms", "R"
+    );
     let geometries = [
         (64, 8),
         (128, 8),
@@ -26,7 +29,10 @@ fn print_sweep() {
     }
 
     print_section("S2 (simulated): single-memory populations, 1 % defects");
-    println!("{:>11} {:>14} {:>14} {:>8}", "geometry", "baseline ms", "proposed ms", "R");
+    println!(
+        "{:>11} {:>14} {:>14} {:>8}",
+        "geometry", "baseline ms", "proposed ms", "R"
+    );
     for (words, width) in [(32u64, 8usize), (64, 16), (128, 16)] {
         let build = || {
             Soc::builder()
@@ -38,7 +44,9 @@ fn print_sweep() {
                 .expect("population")
         };
         let mut baseline_soc = build();
-        let baseline = HuangScheme::new(10.0).diagnose(baseline_soc.memories_mut()).expect("baseline");
+        let baseline = HuangScheme::new(10.0)
+            .diagnose(baseline_soc.memories_mut())
+            .expect("baseline");
         let mut fast_soc = build();
         let fast = FastScheme::new(10.0)
             .with_drf_mode(DrfMode::None)

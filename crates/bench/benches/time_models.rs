@@ -28,9 +28,15 @@ fn print_simulated_comparison() {
         "scheme", "cycles", "time (ms)", "located", "iters"
     );
     let mut rows = Vec::new();
-    for (label, rate) in [("0.5 % defects", 0.005), ("1 % defects", 0.01), ("2 % defects", 0.02)] {
+    for (label, rate) in [
+        ("0.5 % defects", 0.005),
+        ("1 % defects", 0.01),
+        ("2 % defects", 0.02),
+    ] {
         let mut baseline_soc = small_population(4, 64, 16, rate, 42);
-        let baseline = HuangScheme::new(10.0).diagnose(baseline_soc.memories_mut()).expect("baseline run");
+        let baseline = HuangScheme::new(10.0)
+            .diagnose(baseline_soc.memories_mut())
+            .expect("baseline run");
         let mut fast_soc = small_population(4, 64, 16, rate, 42);
         let fast = FastScheme::new(10.0)
             .with_drf_mode(DrfMode::None)
@@ -89,7 +95,9 @@ fn bench_time_models(c: &mut Criterion) {
         b.iter_batched(
             || small_population(4, 64, 16, 0.01, 42),
             |mut soc| {
-                let result = HuangScheme::new(10.0).diagnose(soc.memories_mut()).expect("baseline run");
+                let result = HuangScheme::new(10.0)
+                    .diagnose(soc.memories_mut())
+                    .expect("baseline run");
                 black_box(result.cycles)
             },
             criterion::BatchSize::SmallInput,

@@ -91,7 +91,8 @@ impl DataBackgroundGenerator {
     /// The pattern as received by a memory of `width` IO bits after
     /// MSB-first delivery (the low-order bits of the wide pattern).
     pub fn pattern_for_width(&self, background: DataBackground, value: bool, width: usize) -> DataWord {
-        self.pattern(background, value).truncated_lsb(width.min(self.widest))
+        self.pattern(background, value)
+            .truncated_lsb(width.min(self.widest))
     }
 }
 
@@ -108,7 +109,9 @@ pub struct MemorySizeTable {
 impl MemorySizeTable {
     /// Creates an empty table.
     pub fn new() -> Self {
-        MemorySizeTable { entries: BTreeMap::new() }
+        MemorySizeTable {
+            entries: BTreeMap::new(),
+        }
     }
 
     /// Registers a memory.
@@ -149,7 +152,9 @@ impl MemorySizeTable {
 
 impl FromIterator<(MemoryId, MemConfig)> for MemorySizeTable {
     fn from_iter<T: IntoIterator<Item = (MemoryId, MemConfig)>>(iter: T) -> Self {
-        MemorySizeTable { entries: iter.into_iter().collect() }
+        MemorySizeTable {
+            entries: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -166,7 +171,9 @@ pub struct ComparatorArray {
 impl ComparatorArray {
     /// Creates a comparator array with an empty log.
     pub fn new() -> Self {
-        ComparatorArray { log: DiagnosisLog::new() }
+        ComparatorArray {
+            log: DiagnosisLog::new(),
+        }
     }
 
     /// Compares one response against its expected value and records a
@@ -268,7 +275,14 @@ mod tests {
         let good = DataWord::zero(4);
         let bad = DataWord::from_u64(0b0100, 4);
         assert!(comparator
-            .compare(MemoryId::new(0), Address::new(1), DataBackground::Solid, "M1", &expected, &good)
+            .compare(
+                MemoryId::new(0),
+                Address::new(1),
+                DataBackground::Solid,
+                "M1",
+                &expected,
+                &good
+            )
             .is_empty());
         let failing = comparator.compare(
             MemoryId::new(0),

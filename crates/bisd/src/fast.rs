@@ -58,7 +58,10 @@ impl FastScheme {
     ///
     /// Panics if the clock period is not positive and finite.
     pub fn new(clock_period_ns: f64) -> Self {
-        assert!(clock_period_ns.is_finite() && clock_period_ns > 0.0, "clock period must be positive");
+        assert!(
+            clock_period_ns.is_finite() && clock_period_ns > 0.0,
+            "clock period must be positive"
+        );
         FastScheme {
             clock_period_ns,
             drf_mode: DrfMode::Nwrtm,
@@ -107,13 +110,11 @@ impl FastScheme {
         };
         match self.drf_mode {
             DrfMode::None => base,
-            DrfMode::Nwrtm => {
-                base.map_last_phase(format!("{} + NWRTM", base.name()), |t| algorithms::with_nwrtm(t))
-            }
-            DrfMode::RetentionPause(ms) => base.map_last_phase(
-                format!("{} + retention pauses", base.name()),
-                |t| algorithms::with_retention_pauses(t, ms),
-            ),
+            DrfMode::Nwrtm => base.map_last_phase(format!("{} + NWRTM", base.name()), algorithms::with_nwrtm),
+            DrfMode::RetentionPause(ms) => base
+                .map_last_phase(format!("{} + retention pauses", base.name()), |t| {
+                    algorithms::with_retention_pauses(t, ms)
+                }),
         }
     }
 }
@@ -145,8 +146,10 @@ impl DiagnosisScheme for FastScheme {
             .iter()
             .map(|m| vec![DataWord::zero(m.config().width()); m.config().words() as usize])
             .collect();
-        let mut pscs: Vec<ParallelToSerialConverter> =
-            widths.iter().map(|&w| ParallelToSerialConverter::new(w)).collect();
+        let mut pscs: Vec<ParallelToSerialConverter> = widths
+            .iter()
+            .map(|&w| ParallelToSerialConverter::new(w))
+            .collect();
 
         for phase in schedule.phases() {
             let background = phase.background;
@@ -315,7 +318,11 @@ mod tests {
         ]
     }
 
-    fn with_fault(mut population: Vec<MemoryUnderDiagnosis>, memory: usize, fault: MemoryFault) -> Vec<MemoryUnderDiagnosis> {
+    fn with_fault(
+        mut population: Vec<MemoryUnderDiagnosis>,
+        memory: usize,
+        fault: MemoryFault,
+    ) -> Vec<MemoryUnderDiagnosis> {
         fault.inject_into(&mut population[memory].sram).unwrap();
         let mut list = FaultList::new();
         list.push(fault);
@@ -398,8 +405,10 @@ mod tests {
         // (5n + 5c + 5n(c+1)) + (3n + 3c + 2n(c+1)) * ceil(log2 c) cycles.
         let n: u64 = 32;
         let c: u64 = 8;
-        let mut memories =
-            vec![MemoryUnderDiagnosis::pristine(MemoryId::new(0), MemConfig::new(n, c as usize).unwrap())];
+        let mut memories = vec![MemoryUnderDiagnosis::pristine(
+            MemoryId::new(0),
+            MemConfig::new(n, c as usize).unwrap(),
+        )];
         let result = FastScheme::new(10.0)
             .with_drf_mode(DrfMode::None)
             .diagnose(&mut memories)
@@ -441,7 +450,10 @@ mod tests {
     #[test]
     fn march_c_minus_ablation_runs_fewer_cycles_than_march_cw() {
         let mut a = population();
-        let cw = FastScheme::new(10.0).with_drf_mode(DrfMode::None).diagnose(&mut a).unwrap();
+        let cw = FastScheme::new(10.0)
+            .with_drf_mode(DrfMode::None)
+            .diagnose(&mut a)
+            .unwrap();
         let mut b = population();
         let cm = FastScheme::new(10.0)
             .with_drf_mode(DrfMode::None)

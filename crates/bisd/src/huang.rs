@@ -35,8 +35,15 @@ impl HuangScheme {
     ///
     /// Panics if the clock period is not positive and finite.
     pub fn new(clock_period_ns: f64) -> Self {
-        assert!(clock_period_ns.is_finite() && clock_period_ns > 0.0, "clock period must be positive");
-        HuangScheme { clock_period_ns, max_iterations: 4096, retention_pause_ms: None }
+        assert!(
+            clock_period_ns.is_finite() && clock_period_ns > 0.0,
+            "clock period must be positive"
+        );
+        HuangScheme {
+            clock_period_ns,
+            max_iterations: 4096,
+            retention_pause_ms: None,
+        }
     }
 
     /// Caps the number of `M1` iterations (a safety net; the scheme
@@ -93,7 +100,8 @@ impl DiagnosisScheme for HuangScheme {
             cycles += m1.complexity_per_address() as u64 * n_max * c_max;
             let mut found_new = false;
             for memory in memories.iter_mut() {
-                let found = run_group_serially(memory, &m1, &mut log, known.entry(memory.id).or_default(), 2)?;
+                let found =
+                    run_group_serially(memory, &m1, &mut log, known.entry(memory.id).or_default(), 2)?;
                 found_new |= found > 0;
             }
             if !found_new || iterations >= self.max_iterations {
@@ -106,7 +114,13 @@ impl DiagnosisScheme for HuangScheme {
         let base = algorithms::diag_rs_march_base();
         cycles += base.complexity_per_address() as u64 * n_max * c_max;
         for memory in memories.iter_mut() {
-            run_group_serially(memory, &base, &mut log, known.entry(memory.id).or_default(), usize::MAX)?;
+            run_group_serially(
+                memory,
+                &base,
+                &mut log,
+                known.entry(memory.id).or_default(),
+                usize::MAX,
+            )?;
         }
 
         // Optional pause-based data-retention extension: 8·k extra units
@@ -149,10 +163,7 @@ impl DiagnosisScheme for HuangScheme {
 /// The pause-based DRF identification pass used by the baseline when the
 /// retention extension is enabled: `⇕(w0); del; ⇕(r0,w1); del; ⇕(r1)`.
 fn retention_identification_test(pause_ms: u32) -> MarchTest {
-    algorithms::with_retention_pauses(
-        &MarchTest::new("DRF identification", Vec::new()),
-        pause_ms,
-    )
+    algorithms::with_retention_pauses(&MarchTest::new("DRF identification", Vec::new()), pause_ms)
 }
 
 /// Runs the elements of `test` through the bi-directional serial
@@ -175,7 +186,11 @@ fn run_group_serially(
     for (index, element) in test.elements().iter().enumerate() {
         // Alternate shift directions across read-bearing elements, as
         // DiagRSMarch alternates right- and left-shift operations.
-        let direction = if index % 2 == 0 { ShiftDirection::Right } else { ShiftDirection::Left };
+        let direction = if index % 2 == 0 {
+            ShiftDirection::Right
+        } else {
+            ShiftDirection::Left
+        };
         let outcome =
             interface.run_element(&mut memory.sram, element, DataBackground::Solid, direction, known)?;
         if let Some((address, bit)) = outcome.located {
@@ -259,10 +274,15 @@ mod tests {
         ];
         let mut memories = population();
         for site in sites {
-            MemoryFault::stuck_at_1(site).inject_into(&mut memories[0].sram).unwrap();
+            MemoryFault::stuck_at_1(site)
+                .inject_into(&mut memories[0].sram)
+                .unwrap();
         }
         let result = HuangScheme::new(10.0).diagnose(&mut memories).unwrap();
-        assert!(result.iterations > 1, "five faults cannot be located in a single M1 iteration");
+        assert!(
+            result.iterations > 1,
+            "five faults cannot be located in a single M1 iteration"
+        );
         assert_eq!(result.sites(MemoryId::new(0)).len(), sites.len());
         assert_eq!(result.cycles, (17 * result.iterations + 9) * 32 * 8);
     }
@@ -299,24 +319,33 @@ mod tests {
 
         let mut extended = population();
         fault.inject_into(&mut extended[0].sram).unwrap();
-        let extended_result =
-            HuangScheme::new(10.0).with_retention_pause(100).diagnose(&mut extended).unwrap();
+        let extended_result = HuangScheme::new(10.0)
+            .with_retention_pause(100)
+            .diagnose(&mut extended)
+            .unwrap();
         assert_eq!(extended_result.sites(MemoryId::new(0)).len(), 1);
         assert!(extended_result.pause_ms >= 200.0);
     }
 
     #[test]
     fn located_sites_match_injected_stuck_at_ground_truth() {
-        let sites = [CellCoord::new(Address::new(2), 1), CellCoord::new(Address::new(11), 3)];
+        let sites = [
+            CellCoord::new(Address::new(2), 1),
+            CellCoord::new(Address::new(11), 3),
+        ];
         let mut memories = population();
         for site in sites {
-            MemoryFault::stuck_at_0(site).inject_into(&mut memories[1].sram).unwrap();
+            MemoryFault::stuck_at_0(site)
+                .inject_into(&mut memories[1].sram)
+                .unwrap();
         }
         let result = HuangScheme::new(10.0).diagnose(&mut memories).unwrap();
         let located = result.sites(MemoryId::new(1));
         assert_eq!(located.len(), 2);
         for site in sites {
-            assert!(located.iter().any(|s| s.address == site.address && s.bit == site.bit));
+            assert!(located
+                .iter()
+                .any(|s| s.address == site.address && s.bit == site.bit));
         }
     }
 
@@ -328,7 +357,10 @@ mod tests {
                 .inject_into(&mut memories[1].sram)
                 .unwrap();
         }
-        let result = HuangScheme::new(10.0).with_max_iterations(3).diagnose(&mut memories).unwrap();
+        let result = HuangScheme::new(10.0)
+            .with_max_iterations(3)
+            .diagnose(&mut memories)
+            .unwrap();
         assert_eq!(result.iterations, 3);
     }
 

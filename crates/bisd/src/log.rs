@@ -54,7 +54,9 @@ pub struct DiagnosisRecord {
 impl DiagnosisRecord {
     /// The fault sites this record contributes.
     pub fn sites(&self) -> impl Iterator<Item = FaultSite> + '_ {
-        self.failing_bits.iter().map(move |&bit| FaultSite::new(self.memory, self.address, bit))
+        self.failing_bits
+            .iter()
+            .map(move |&bit| FaultSite::new(self.memory, self.address, bit))
     }
 }
 
@@ -174,7 +176,10 @@ mod tests {
         assert_eq!(by_memory[&MemoryId::new(0)].len(), 1);
         assert_eq!(by_memory[&MemoryId::new(1)].len(), 2);
         assert_eq!(log.sites().len(), 3);
-        assert_eq!(log.failing_addresses(MemoryId::new(1)), BTreeSet::from([Address::new(5)]));
+        assert_eq!(
+            log.failing_addresses(MemoryId::new(1)),
+            BTreeSet::from([Address::new(5)])
+        );
         assert!(log.failing_addresses(MemoryId::new(7)).is_empty());
     }
 

@@ -140,7 +140,10 @@ mod tests {
         assert_eq!(result.located_count(), 1);
         assert_eq!(result.sites(MemoryId::new(1)).len(), 1);
         assert!(result.sites(MemoryId::new(0)).is_empty());
-        assert_eq!(result.failing_addresses(MemoryId::new(1)), BTreeSet::from([Address::new(7)]));
+        assert_eq!(
+            result.failing_addresses(MemoryId::new(1)),
+            BTreeSet::from([Address::new(7)])
+        );
         assert!(result.to_string().contains("demo"));
         assert!(result.to_string().contains("2 iterations"));
     }

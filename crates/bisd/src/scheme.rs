@@ -48,7 +48,12 @@ impl MemoryUnderDiagnosis {
     ) -> Result<Self, MemError> {
         let mut sram = Sram::new(config);
         let injected = injector.inject(&mut sram, profile)?;
-        Ok(MemoryUnderDiagnosis { id, sram, injected, backup: BackupMemory::new(config, 4) })
+        Ok(MemoryUnderDiagnosis {
+            id,
+            sram,
+            injected,
+            backup: BackupMemory::new(config, 4),
+        })
     }
 
     /// Creates a memory with an explicit fault list.
@@ -59,7 +64,12 @@ impl MemoryUnderDiagnosis {
     pub fn with_faults(id: MemoryId, config: MemConfig, faults: FaultList) -> Result<Self, MemError> {
         let mut sram = Sram::new(config);
         faults.inject_into(&mut sram)?;
-        Ok(MemoryUnderDiagnosis { id, sram, injected: faults, backup: BackupMemory::new(config, 4) })
+        Ok(MemoryUnderDiagnosis {
+            id,
+            sram,
+            injected: faults,
+            backup: BackupMemory::new(config, 4),
+        })
     }
 
     /// Replaces the backup memory with one holding `spare_words` spares.
@@ -83,7 +93,13 @@ impl MemoryUnderDiagnosis {
 
 impl fmt::Display for MemoryUnderDiagnosis {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}, {} injected faults)", self.id, self.config(), self.injected.len())
+        write!(
+            f,
+            "{} ({}, {} injected faults)",
+            self.id,
+            self.config(),
+            self.injected.len()
+        )
     }
 }
 
@@ -122,8 +138,9 @@ mod tests {
     #[test]
     fn with_faults_injects_the_ground_truth() {
         let config = MemConfig::new(16, 4).unwrap();
-        let faults: FaultList =
-            vec![MemoryFault::stuck_at_1(CellCoord::new(Address::new(3), 1))].into_iter().collect();
+        let faults: FaultList = vec![MemoryFault::stuck_at_1(CellCoord::new(Address::new(3), 1))]
+            .into_iter()
+            .collect();
         let m = MemoryUnderDiagnosis::with_faults(MemoryId::new(2), config, faults).unwrap();
         assert_eq!(m.injected.len(), 1);
         assert!(m.sram.is_faulty());
@@ -145,8 +162,8 @@ mod tests {
 
     #[test]
     fn with_spares_resizes_the_backup() {
-        let m = MemoryUnderDiagnosis::pristine(MemoryId::new(0), MemConfig::new(16, 4).unwrap())
-            .with_spares(9);
+        let m =
+            MemoryUnderDiagnosis::pristine(MemoryId::new(0), MemConfig::new(16, 4).unwrap()).with_spares(9);
         assert_eq!(m.backup.capacity(), 9);
     }
 }

@@ -36,8 +36,19 @@ fn main() {
 
     // S2: geometry sweep.
     println!("\n== geometry sweep (1 % defects, 10 ns clock) ==");
-    println!("{:>11} {:>6} {:>12} {:>12} {:>8}", "geometry", "k", "T[7,8] ms", "T_prop ms", "R");
-    let geometries = [(64, 8), (128, 16), (256, 32), (512, 64), (512, 100), (1024, 100), (4096, 128)];
+    println!(
+        "{:>11} {:>6} {:>12} {:>12} {:>8}",
+        "geometry", "k", "T[7,8] ms", "T_prop ms", "R"
+    );
+    let geometries = [
+        (64, 8),
+        (128, 16),
+        (256, 32),
+        (512, 64),
+        (512, 100),
+        (1024, 100),
+        (4096, 128),
+    ];
     for point in size_sweep(&geometries, 10.0, 0.01) {
         println!("{point}");
     }

@@ -20,8 +20,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let baseline = scheme_coverage(&HuangScheme::new(10.0), config, &universe);
     println!("{}", baseline.to_table());
 
-    let proposed_no_drf =
-        scheme_coverage(&FastScheme::new(10.0).with_drf_mode(DrfMode::None), config, &universe);
+    let proposed_no_drf = scheme_coverage(
+        &FastScheme::new(10.0).with_drf_mode(DrfMode::None),
+        config,
+        &universe,
+    );
     println!("{}", proposed_no_drf.to_table());
 
     let proposed = scheme_coverage(&FastScheme::new(10.0), config, &universe);

@@ -30,7 +30,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let scheme = FastScheme::new(10.0);
     let result = scheme.diagnose(soc.memories_mut())?;
     println!("\n{result}");
-    println!("diagnosis time: {:.3} ms (no retention pauses needed)", result.time_ms());
+    println!(
+        "diagnosis time: {:.3} ms (no retention pauses needed)",
+        result.time_ms()
+    );
 
     // Score the located faults against the injected ground truth.
     let score = soc.score(&result);

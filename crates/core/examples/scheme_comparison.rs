@@ -15,7 +15,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .and_then(|b| b.defect_rate(0.01).seed(77).build())
     };
 
-    println!("{:<46} {:>12} {:>12} {:>10} {:>8}", "scheme", "cycles", "time (ms)", "located", "iters");
+    println!(
+        "{:<46} {:>12} {:>12} {:>10} {:>8}",
+        "scheme", "cycles", "time (ms)", "located", "iters"
+    );
 
     // Baseline: defect-rate-dependent iteration of the M1 element group.
     let mut baseline_soc = build()?;
@@ -43,8 +46,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fast.iterations
     );
 
-    println!("\nsimulated reduction factor R = {:.1}", fast.speedup_versus(&baseline));
-    println!("baseline ground-truth location coverage: {:.1}%", baseline_score.location_coverage() * 100.0);
-    println!("proposed ground-truth location coverage: {:.1}%", fast_score.location_coverage() * 100.0);
+    println!(
+        "\nsimulated reduction factor R = {:.1}",
+        fast.speedup_versus(&baseline)
+    );
+    println!(
+        "baseline ground-truth location coverage: {:.1}%",
+        baseline_score.location_coverage() * 100.0
+    );
+    println!(
+        "proposed ground-truth location coverage: {:.1}%",
+        fast_score.location_coverage() * 100.0
+    );
     Ok(())
 }

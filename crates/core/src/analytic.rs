@@ -34,7 +34,14 @@ impl TimeBreakdown {
 
 impl fmt::Display for TimeBreakdown {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} cycles @ {} ns + {} ns pause = {:.3} ms", self.cycles, self.clock_period_ns, self.pause_ns, self.total_ms())
+        write!(
+            f,
+            "{} cycles @ {} ns + {} ns pause = {:.3} ms",
+            self.cycles,
+            self.clock_period_ns,
+            self.pause_ns,
+            self.total_ms()
+        )
     }
 }
 
@@ -59,8 +66,15 @@ impl AnalyticModel {
     /// positive.
     pub fn new(words: u64, width: u64, clock_period_ns: f64) -> Self {
         assert!(words > 0 && width > 0, "geometry must be non-zero");
-        assert!(clock_period_ns.is_finite() && clock_period_ns > 0.0, "clock period must be positive");
-        AnalyticModel { words, width, clock_period_ns }
+        assert!(
+            clock_period_ns.is_finite() && clock_period_ns > 0.0,
+            "clock period must be positive"
+        );
+        AnalyticModel {
+            words,
+            width,
+            clock_period_ns,
+        }
     }
 
     /// The benchmark parameters of the paper's case study (from [16]):
@@ -77,7 +91,11 @@ impl AnalyticModel {
 
     /// Eq. (1) as a time breakdown.
     pub fn baseline_time(&self, k: u64) -> TimeBreakdown {
-        TimeBreakdown { cycles: self.baseline_cycles(k), pause_ns: 0.0, clock_period_ns: self.clock_period_ns }
+        TimeBreakdown {
+            cycles: self.baseline_cycles(k),
+            pause_ns: 0.0,
+            clock_period_ns: self.clock_period_ns,
+        }
     }
 
     /// Eq. (2): proposed scheme (March CW through SPC/PSC) cycle count
@@ -92,7 +110,11 @@ impl AnalyticModel {
 
     /// Eq. (2) as a time breakdown.
     pub fn proposed_time(&self) -> TimeBreakdown {
-        TimeBreakdown { cycles: self.proposed_cycles(), pause_ns: 0.0, clock_period_ns: self.clock_period_ns }
+        TimeBreakdown {
+            cycles: self.proposed_cycles(),
+            pause_ns: 0.0,
+            clock_period_ns: self.clock_period_ns,
+        }
     }
 
     /// Eq. (3): diagnosis-time reduction factor without DRF diagnosis,
@@ -153,7 +175,10 @@ impl AnalyticModel {
     /// `n·c·rate / 2` distinguishable faulty cells (the case study turns
     /// 1 % of 51 200 cells into 256 faults).
     pub fn max_faults_for_defect_rate(&self, defect_rate: f64) -> u64 {
-        assert!((0.0..=1.0).contains(&defect_rate), "defect rate must be within 0..=1");
+        assert!(
+            (0.0..=1.0).contains(&defect_rate),
+            "defect rate must be within 0..=1"
+        );
         ((self.words * self.width) as f64 * defect_rate / 2.0).round() as u64
     }
 }
@@ -199,7 +224,10 @@ mod tests {
     fn eq4_reduction_with_drf_is_far_larger() {
         let r = benchmark().reduction_with_drf(96, 200.0);
         assert!(r > 140.0, "R = {r}");
-        assert!(r < 150.0, "R = {r} should be in the paper's ballpark (>= 145 claimed)");
+        assert!(
+            r < 150.0,
+            "R = {r} should be in the paper's ballpark (>= 145 claimed)"
+        );
         // And it must beat the DRF-free reduction by a wide margin.
         assert!(r > benchmark().reduction_without_drf(96));
     }

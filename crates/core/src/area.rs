@@ -41,7 +41,12 @@ impl AreaModel {
     /// The paper's equivalences (Sec. 4.3): DFF = 2 cells, latch = 1
     /// cell; multiplexers modelled as half a cell per 2:1 stage.
     pub fn date2005() -> Self {
-        AreaModel { dff_cells: 2.0, latch_cells: 1.0, mux2_cells: 0.5, mux4_cells: 1.5 }
+        AreaModel {
+            dff_cells: 2.0,
+            latch_cells: 1.0,
+            mux2_cells: 0.5,
+            mux4_cells: 1.5,
+        }
     }
 
     /// Cell equivalents of the baseline bi-directional serial interface,
@@ -153,12 +158,20 @@ mod tests {
     #[test]
     fn extra_area_is_three_cells_per_bit_as_in_the_paper() {
         let model = AreaModel::date2005();
-        assert!((model.extra_per_bit() - 2.5).abs() < 1.0, "extra = {}", model.extra_per_bit());
+        assert!(
+            (model.extra_per_bit() - 2.5).abs() < 1.0,
+            "extra = {}",
+            model.extra_per_bit()
+        );
         // With the paper's coarse DFF/latch equivalences, rounding the
         // multiplexers to their nearest cell equivalents gives exactly 3
         // extra cells per bit: (2*2 + 2*0.5) - (1.5 + 1) = 2.5, which the
         // paper rounds up to 3 by charging each multiplexer a full cell.
-        let conservative = AreaModel { mux2_cells: 1.0, mux4_cells: 2.0, ..model };
+        let conservative = AreaModel {
+            mux2_cells: 1.0,
+            mux4_cells: 2.0,
+            ..model
+        };
         assert!((conservative.extra_per_bit() - 3.0).abs() < 1e-12);
     }
 
@@ -166,7 +179,10 @@ mod tests {
     fn benchmark_overhead_is_small_in_relative_terms() {
         let report = AreaModel::date2005().report(MemConfig::date2005_benchmark());
         assert_eq!(report.array_cells, 51_200.0);
-        assert!(report.extra_overhead_ratio() < 0.02, "extra overhead must stay below 2 %");
+        assert!(
+            report.extra_overhead_ratio() < 0.02,
+            "extra overhead must stay below 2 %"
+        );
         assert!(report.proposed_overhead_ratio() < 0.02);
         assert!(report.proposed_overhead_ratio() > report.baseline_overhead_ratio());
     }
@@ -204,7 +220,9 @@ mod tests {
 
     #[test]
     fn display_mentions_percentages_and_wires() {
-        let text = AreaModel::date2005().report(MemConfig::date2005_benchmark()).to_string();
+        let text = AreaModel::date2005()
+            .report(MemConfig::date2005_benchmark())
+            .to_string();
         assert!(text.contains("% of array"));
         assert!(text.contains("+1 global wire"));
     }

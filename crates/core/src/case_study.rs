@@ -29,7 +29,11 @@ impl CaseStudy {
 
     /// Creates a case study with explicit parameters.
     pub fn new(model: AnalyticModel, defect_rate: f64, retention_delay_ms: f64) -> Self {
-        CaseStudy { model, defect_rate, retention_delay_ms }
+        CaseStudy {
+            model,
+            defect_rate,
+            retention_delay_ms,
+        }
     }
 
     /// Evaluates the case study.
@@ -42,7 +46,10 @@ impl CaseStudy {
             baseline_ms: self.model.baseline_time(k).total_ms(),
             proposed_ms: self.model.proposed_time().total_ms(),
             reduction_without_drf: self.model.reduction_without_drf(k),
-            baseline_with_drf_ms: self.model.baseline_time_with_drf(k, self.retention_delay_ms).total_ms(),
+            baseline_with_drf_ms: self
+                .model
+                .baseline_time_with_drf(k, self.retention_delay_ms)
+                .total_ms(),
             proposed_with_drf_ms: self.model.proposed_time_with_drf().total_ms(),
             reduction_with_drf: self.model.reduction_with_drf(k, self.retention_delay_ms),
         }
@@ -123,9 +130,17 @@ mod tests {
         let report = CaseStudy::date2005().evaluate();
         assert_eq!(report.faults, 256);
         assert_eq!(report.iterations, 96);
-        assert!(report.reduction_without_drf >= 84.0, "R = {}", report.reduction_without_drf);
+        assert!(
+            report.reduction_without_drf >= 84.0,
+            "R = {}",
+            report.reduction_without_drf
+        );
         assert!(report.reduction_without_drf < 86.0);
-        assert!(report.reduction_with_drf > 140.0, "R = {}", report.reduction_with_drf);
+        assert!(
+            report.reduction_with_drf > 140.0,
+            "R = {}",
+            report.reduction_with_drf
+        );
         // Proposed time is about 10 ms; baseline about 840 ms.
         assert!((report.proposed_ms - 9.9844).abs() < 0.01);
         assert!((report.baseline_ms - 840.192).abs() < 0.01);

@@ -32,7 +32,9 @@ pub fn scheme_coverage<S: DiagnosisScheme>(
             std::iter::once(*fault).collect(),
         )
         .expect("fault universe must match the memory geometry")];
-        let result = scheme.diagnose(&mut population).expect("diagnosis of a valid population");
+        let result = scheme
+            .diagnose(&mut population)
+            .expect("diagnosis of a valid population");
         let detected = !result.is_clean();
         let located = detected && locates(fault, &result);
         report.record(fault.class(), detected, located);
@@ -65,8 +67,11 @@ mod tests {
 
     #[test]
     fn fast_scheme_fully_covers_stuck_at_faults() {
-        let report =
-            scheme_coverage(&FastScheme::new(10.0), config(), &FaultUniverse::new(config()).stuck_at());
+        let report = scheme_coverage(
+            &FastScheme::new(10.0),
+            config(),
+            &FaultUniverse::new(config()).stuck_at(),
+        );
         assert_eq!(report.detection_coverage(), 1.0);
         assert_eq!(report.location_coverage(), 1.0);
     }

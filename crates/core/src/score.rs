@@ -146,8 +146,10 @@ mod tests {
 
     #[test]
     fn empty_population_scores_full_coverage() {
-        let mut memories =
-            vec![MemoryUnderDiagnosis::pristine(MemoryId::new(0), MemConfig::new(8, 2).unwrap())];
+        let mut memories = vec![MemoryUnderDiagnosis::pristine(
+            MemoryId::new(0),
+            MemConfig::new(8, 2).unwrap(),
+        )];
         let result = FastScheme::new(10.0).diagnose(&mut memories).unwrap();
         let score = DiagnosisScore::evaluate(&memories, &result);
         assert_eq!(score.injected(), 0);

@@ -36,7 +36,13 @@ pub struct SocBuilder {
 
 impl SocBuilder {
     fn new() -> Self {
-        SocBuilder { configs: Vec::new(), defect_rate: 0.0, include_drf: false, seed: 0xDA7E_2005, spares: 4 }
+        SocBuilder {
+            configs: Vec::new(),
+            defect_rate: 0.0,
+            include_drf: false,
+            seed: 0xDA7E_2005,
+            spares: 4,
+        }
     }
 
     /// Adds one memory of the given geometry.
@@ -140,7 +146,11 @@ impl Soc {
     ///
     /// Returns an error if `count` is zero or injection fails.
     pub fn date2005_benchmark(count: usize, defect_rate: f64, seed: u64) -> Result<Soc, MemError> {
-        Soc::builder().memories(count, 512, 100)?.defect_rate(defect_rate).seed(seed).build()
+        Soc::builder()
+            .memories(count, 512, 100)?
+            .defect_rate(defect_rate)
+            .seed(seed)
+            .build()
     }
 
     /// The memories of the population.
@@ -176,7 +186,10 @@ impl Soc {
     /// Repairs every memory from a diagnosis result and returns the
     /// number of addresses that could not be repaired (spares exhausted).
     pub fn repair_from(&mut self, result: &DiagnosisResult) -> usize {
-        self.memories.iter_mut().map(|m| m.repair_from(result).unrepaired.len()).sum()
+        self.memories
+            .iter_mut()
+            .map(|m| m.repair_from(result).unrepaired.len())
+            .sum()
     }
 }
 
@@ -221,11 +234,29 @@ mod tests {
 
     #[test]
     fn defect_injection_is_deterministic_per_seed() {
-        let a = Soc::builder().memories(2, 64, 8).unwrap().defect_rate(0.02).seed(3).build().unwrap();
-        let b = Soc::builder().memories(2, 64, 8).unwrap().defect_rate(0.02).seed(3).build().unwrap();
+        let a = Soc::builder()
+            .memories(2, 64, 8)
+            .unwrap()
+            .defect_rate(0.02)
+            .seed(3)
+            .build()
+            .unwrap();
+        let b = Soc::builder()
+            .memories(2, 64, 8)
+            .unwrap()
+            .defect_rate(0.02)
+            .seed(3)
+            .build()
+            .unwrap();
         assert_eq!(a.injected_faults(), b.injected_faults());
         assert!(a.injected_faults() > 0);
-        let c = Soc::builder().memories(2, 64, 8).unwrap().defect_rate(0.02).seed(4).build().unwrap();
+        let c = Soc::builder()
+            .memories(2, 64, 8)
+            .unwrap()
+            .defect_rate(0.02)
+            .seed(4)
+            .build()
+            .unwrap();
         assert!(c.injected_faults() > 0);
     }
 

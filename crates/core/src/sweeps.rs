@@ -85,7 +85,12 @@ impl fmt::Display for SizePoint {
         write!(
             f,
             "{:>6}x{:<4} {:>6} {:>12.3} {:>12.3} {:>8.1}",
-            self.words, self.width, self.iterations, self.baseline_ms, self.proposed_ms, self.reduction_without_drf
+            self.words,
+            self.width,
+            self.iterations,
+            self.baseline_ms,
+            self.proposed_ms,
+            self.reduction_without_drf
         )
     }
 }

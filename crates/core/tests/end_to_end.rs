@@ -26,13 +26,18 @@ fn proposed_scheme_is_faster_and_at_least_as_accurate_as_the_baseline() {
     let mut fast_soc = defective_soc(500);
     assert_eq!(baseline_soc.injected_faults(), fast_soc.injected_faults());
 
-    let baseline = HuangScheme::new(10.0).diagnose(baseline_soc.memories_mut()).unwrap();
+    let baseline = HuangScheme::new(10.0)
+        .diagnose(baseline_soc.memories_mut())
+        .unwrap();
     let fast = FastScheme::new(10.0).diagnose(fast_soc.memories_mut()).unwrap();
 
     // The headline result: the proposed scheme wins, by a large factor,
     // on the same defect population.
     let reduction = fast.speedup_versus(&baseline);
-    assert!(reduction > 5.0, "simulated reduction factor too small: {reduction}");
+    assert!(
+        reduction > 5.0,
+        "simulated reduction factor too small: {reduction}"
+    );
     assert_eq!(fast.iterations, 1);
     assert!(baseline.iterations >= 1);
 
@@ -57,7 +62,9 @@ fn reduction_factor_grows_with_the_defect_rate() {
         };
         let mut baseline_soc = build();
         let mut fast_soc = build();
-        let baseline = HuangScheme::new(10.0).diagnose(baseline_soc.memories_mut()).unwrap();
+        let baseline = HuangScheme::new(10.0)
+            .diagnose(baseline_soc.memories_mut())
+            .unwrap();
         let fast = FastScheme::new(10.0).diagnose(fast_soc.memories_mut()).unwrap();
         reductions.push(fast.speedup_versus(&baseline));
     }
@@ -81,7 +88,9 @@ fn drf_coverage_is_the_decisive_difference_between_the_schemes() {
     };
 
     let mut baseline_soc = build();
-    let baseline = HuangScheme::new(10.0).diagnose(baseline_soc.memories_mut()).unwrap();
+    let baseline = HuangScheme::new(10.0)
+        .diagnose(baseline_soc.memories_mut())
+        .unwrap();
     let baseline_score = baseline_soc.score(&baseline);
 
     let mut fast_soc = build();
@@ -90,7 +99,9 @@ fn drf_coverage_is_the_decisive_difference_between_the_schemes() {
 
     // The population contains DRFs (seeded); the baseline misses all of
     // them while NWRTM finds them.
-    assert!(baseline_score.injected_by_class.contains_key(&FaultClass::DataRetention));
+    assert!(baseline_score
+        .injected_by_class
+        .contains_key(&FaultClass::DataRetention));
     assert_eq!(baseline_score.class_coverage(FaultClass::DataRetention), 0.0);
     assert_eq!(fast_score.class_coverage(FaultClass::DataRetention), 1.0);
     assert_eq!(fast.pause_ms, 0.0, "NWRTM must not pause");
@@ -131,7 +142,10 @@ fn repair_consumes_spares_and_clears_located_addresses() {
     let result = FastScheme::new(10.0).diagnose(soc.memories_mut()).unwrap();
     assert!(!result.is_clean());
     let unrepaired = soc.repair_from(&result);
-    assert_eq!(unrepaired, 0, "16 spares per memory must suffice at a 1 % defect rate");
+    assert_eq!(
+        unrepaired, 0,
+        "16 spares per memory must suffice at a 1 % defect rate"
+    );
     for memory in soc.memories() {
         for address in result.failing_addresses(memory.id) {
             assert!(memory.backup.is_repaired(address));
@@ -162,7 +176,9 @@ fn analytic_case_study_and_simulation_agree_on_the_winner_everywhere() {
     // Simulated small-scale analogue: same ordering.
     let mut baseline_soc = defective_soc(123);
     let mut fast_soc = defective_soc(123);
-    let baseline = HuangScheme::new(10.0).diagnose(baseline_soc.memories_mut()).unwrap();
+    let baseline = HuangScheme::new(10.0)
+        .diagnose(baseline_soc.memories_mut())
+        .unwrap();
     let fast = FastScheme::new(10.0).diagnose(fast_soc.memories_mut()).unwrap();
     assert!(fast.time_ns() < baseline.time_ns());
 }

@@ -1,10 +1,10 @@
 //! Property-based tests on the core data structures and invariants.
 
-use esram_diag::{
-    algorithms, Address, AnalyticModel, DataBackground, DataWord, DiagnosisScheme, FastScheme,
-    MemConfig, MemoryFault, MemoryId,
-};
 use esram_diag::MemoryUnderDiagnosis;
+use esram_diag::{
+    algorithms, Address, AnalyticModel, DataBackground, DataWord, DiagnosisScheme, FastScheme, MemConfig,
+    MemoryFault, MemoryId,
+};
 use march::{FaultSimulator, MarchRunner};
 use proptest::prelude::*;
 use serial::{ParallelToSerialConverter, SerialToParallelConverter, ShiftOrder};

@@ -35,7 +35,12 @@ impl FaultClass {
     /// The four defect classes of the baseline evaluation in [8], used
     /// by the paper's case study with equal likelihood.
     pub fn date2005_baseline_classes() -> [FaultClass; 4] {
-        [FaultClass::StuckAt, FaultClass::Transition, FaultClass::Coupling, FaultClass::AddressDecoder]
+        [
+            FaultClass::StuckAt,
+            FaultClass::Transition,
+            FaultClass::Coupling,
+            FaultClass::AddressDecoder,
+        ]
     }
 
     /// Every fault class modelled by this crate.
@@ -200,7 +205,10 @@ impl MemoryFault {
             victim,
             CellFault::Coupling {
                 aggressor,
-                kind: CouplingKind::Idempotent { aggressor_rises, forced_value },
+                kind: CouplingKind::Idempotent {
+                    aggressor_rises,
+                    forced_value,
+                },
             },
         )
     }
@@ -209,7 +217,10 @@ impl MemoryFault {
     pub fn coupling_inversion(victim: CellCoord, aggressor: CellCoord, aggressor_rises: bool) -> Self {
         MemoryFault::cell(
             victim,
-            CellFault::Coupling { aggressor, kind: CouplingKind::Inversion { aggressor_rises } },
+            CellFault::Coupling {
+                aggressor,
+                kind: CouplingKind::Inversion { aggressor_rises },
+            },
         )
     }
 
@@ -224,7 +235,10 @@ impl MemoryFault {
             victim,
             CellFault::Coupling {
                 aggressor,
-                kind: CouplingKind::State { aggressor_value, forced_value },
+                kind: CouplingKind::State {
+                    aggressor_value,
+                    forced_value,
+                },
             },
         )
     }
@@ -243,9 +257,18 @@ mod tests {
     fn class_mapping_covers_all_cell_faults() {
         assert_eq!(MemoryFault::stuck_at_0(coord(0, 0)).class(), FaultClass::StuckAt);
         assert_eq!(MemoryFault::stuck_at_1(coord(0, 0)).class(), FaultClass::StuckAt);
-        assert_eq!(MemoryFault::transition_up(coord(0, 0)).class(), FaultClass::Transition);
-        assert_eq!(MemoryFault::transition_down(coord(0, 0)).class(), FaultClass::Transition);
-        assert_eq!(MemoryFault::data_retention_a(coord(0, 0)).class(), FaultClass::DataRetention);
+        assert_eq!(
+            MemoryFault::transition_up(coord(0, 0)).class(),
+            FaultClass::Transition
+        );
+        assert_eq!(
+            MemoryFault::transition_down(coord(0, 0)).class(),
+            FaultClass::Transition
+        );
+        assert_eq!(
+            MemoryFault::data_retention_a(coord(0, 0)).class(),
+            FaultClass::DataRetention
+        );
         assert_eq!(
             MemoryFault::coupling_inversion(coord(0, 0), coord(1, 0), true).class(),
             FaultClass::Coupling
@@ -284,7 +307,9 @@ mod tests {
     #[test]
     fn inject_into_applies_the_fault_behaviour() {
         let mut sram = Sram::new(MemConfig::new(8, 4).unwrap());
-        MemoryFault::stuck_at_1(coord(2, 1)).inject_into(&mut sram).unwrap();
+        MemoryFault::stuck_at_1(coord(2, 1))
+            .inject_into(&mut sram)
+            .unwrap();
         sram.write(Address::new(2), &DataWord::zero(4)).unwrap();
         assert!(sram.read(Address::new(2)).unwrap().bit(1));
     }
@@ -292,8 +317,12 @@ mod tests {
     #[test]
     fn inject_into_rejects_out_of_range_sites() {
         let mut sram = Sram::new(MemConfig::new(8, 4).unwrap());
-        assert!(MemoryFault::stuck_at_0(coord(100, 0)).inject_into(&mut sram).is_err());
-        assert!(MemoryFault::stuck_at_0(coord(0, 10)).inject_into(&mut sram).is_err());
+        assert!(MemoryFault::stuck_at_0(coord(100, 0))
+            .inject_into(&mut sram)
+            .is_err());
+        assert!(MemoryFault::stuck_at_0(coord(0, 10))
+            .inject_into(&mut sram)
+            .is_err());
     }
 
     #[test]

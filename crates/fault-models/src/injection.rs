@@ -6,7 +6,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use sram_model::cell::CellCoord;
-use sram_model::{Address, CellFault, CellNode, CouplingKind, DecoderFault, DecoderFaultKind, MemConfig, MemError, Sram};
+use sram_model::{
+    Address, CellFault, CellNode, CouplingKind, DecoderFault, DecoderFaultKind, MemConfig, MemError, Sram,
+};
 
 /// Statistical description of a manufacturing defect population.
 ///
@@ -31,7 +33,10 @@ impl DefectProfile {
     ///
     /// Panics if `defect_rate` is not within `0.0..=1.0`.
     pub fn date2005(defect_rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&defect_rate), "defect rate must be within 0..=1");
+        assert!(
+            (0.0..=1.0).contains(&defect_rate),
+            "defect rate must be within 0..=1"
+        );
         DefectProfile {
             defect_rate,
             class_weights: FaultClass::date2005_baseline_classes()
@@ -59,8 +64,14 @@ impl DefectProfile {
     ///
     /// Panics if `defect_rate` is not within `0.0..=1.0`.
     pub fn single_class(class: FaultClass, defect_rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&defect_rate), "defect rate must be within 0..=1");
-        DefectProfile { defect_rate, class_weights: vec![(class, 1.0)] }
+        assert!(
+            (0.0..=1.0).contains(&defect_rate),
+            "defect rate must be within 0..=1"
+        );
+        DefectProfile {
+            defect_rate,
+            class_weights: vec![(class, 1.0)],
+        }
     }
 
     /// Expected number of defective cells for a memory of the given
@@ -84,7 +95,10 @@ impl DefectProfile {
             }
             pick -= weight;
         }
-        self.class_weights.last().map(|(c, _)| *c).unwrap_or(FaultClass::StuckAt)
+        self.class_weights
+            .last()
+            .map(|(c, _)| *c)
+            .unwrap_or(FaultClass::StuckAt)
     }
 }
 
@@ -102,7 +116,9 @@ pub struct FaultInjector {
 impl FaultInjector {
     /// Creates an injector with the given seed (deterministic runs).
     pub fn with_seed(seed: u64) -> Self {
-        FaultInjector { rng: StdRng::seed_from_u64(seed) }
+        FaultInjector {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 
     /// Generates a random defect population for `config` according to
@@ -163,7 +179,9 @@ impl FaultInjector {
                         aggressor_rises: self.rng.gen_bool(0.5),
                         forced_value: self.rng.gen_bool(0.5),
                     },
-                    1 => CouplingKind::Inversion { aggressor_rises: self.rng.gen_bool(0.5) },
+                    1 => CouplingKind::Inversion {
+                        aggressor_rises: self.rng.gen_bool(0.5),
+                    },
                     _ => CouplingKind::State {
                         aggressor_value: self.rng.gen_bool(0.5),
                         forced_value: self.rng.gen_bool(0.5),
@@ -180,7 +198,11 @@ impl FaultInjector {
                 MemoryFault::decoder(DecoderFault::new(coord.address, kind))
             }
             FaultClass::DataRetention => {
-                let node = if self.rng.gen_bool(0.5) { CellNode::A } else { CellNode::B };
+                let node = if self.rng.gen_bool(0.5) {
+                    CellNode::A
+                } else {
+                    CellNode::B
+                };
                 MemoryFault::cell(coord, CellFault::DataRetention { node })
             }
             FaultClass::ReadDisturb => {
@@ -230,7 +252,10 @@ mod tests {
     fn date2005_profile_has_four_equal_classes() {
         let profile = DefectProfile::date2005(0.01);
         assert_eq!(profile.class_weights.len(), 4);
-        assert!(profile.class_weights.iter().all(|(_, w)| (*w - 1.0).abs() < 1e-12));
+        assert!(profile
+            .class_weights
+            .iter()
+            .all(|(_, w)| (*w - 1.0).abs() < 1e-12));
         assert!((profile.defect_rate - 0.01).abs() < 1e-12);
     }
 
@@ -238,7 +263,10 @@ mod tests {
     fn with_data_retention_adds_a_fifth_class() {
         let profile = DefectProfile::with_data_retention(0.01);
         assert_eq!(profile.class_weights.len(), 5);
-        assert!(profile.class_weights.iter().any(|(c, _)| *c == FaultClass::DataRetention));
+        assert!(profile
+            .class_weights
+            .iter()
+            .any(|(c, _)| *c == FaultClass::DataRetention));
     }
 
     #[test]

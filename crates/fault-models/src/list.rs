@@ -59,7 +59,14 @@ impl FaultList {
 
     /// Faults of one class only.
     pub fn of_class(&self, class: FaultClass) -> FaultList {
-        FaultList { faults: self.faults.iter().copied().filter(|f| f.class() == class).collect() }
+        FaultList {
+            faults: self
+                .faults
+                .iter()
+                .copied()
+                .filter(|f| f.class() == class)
+                .collect(),
+        }
     }
 
     /// Faults that are *not* data-retention faults (the subset the
@@ -90,7 +97,9 @@ impl FaultList {
 
 impl FromIterator<MemoryFault> for FaultList {
     fn from_iter<T: IntoIterator<Item = MemoryFault>>(iter: T) -> Self {
-        FaultList { faults: iter.into_iter().collect() }
+        FaultList {
+            faults: iter.into_iter().collect(),
+        }
     }
 }
 

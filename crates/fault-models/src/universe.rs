@@ -59,8 +59,14 @@ impl FaultUniverse {
     pub fn data_retention(&self) -> FaultList {
         let mut list = FaultList::new();
         for coord in self.cells() {
-            list.push(MemoryFault::cell(coord, CellFault::DataRetention { node: CellNode::A }));
-            list.push(MemoryFault::cell(coord, CellFault::DataRetention { node: CellNode::B }));
+            list.push(MemoryFault::cell(
+                coord,
+                CellFault::DataRetention { node: CellNode::A },
+            ));
+            list.push(MemoryFault::cell(
+                coord,
+                CellFault::DataRetention { node: CellNode::B },
+            ));
         }
         list
     }
@@ -78,7 +84,9 @@ impl FaultUniverse {
 
     /// Stuck-open faults (one per cell).
     pub fn stuck_open(&self) -> FaultList {
-        self.cells().map(|c| MemoryFault::cell(c, CellFault::StuckOpen)).collect()
+        self.cells()
+            .map(|c| MemoryFault::cell(c, CellFault::StuckOpen))
+            .collect()
     }
 
     /// Coupling faults against neighbouring aggressors.
@@ -97,7 +105,10 @@ impl FaultUniverse {
                             victim,
                             CellFault::Coupling {
                                 aggressor,
-                                kind: CouplingKind::Idempotent { aggressor_rises: rises, forced_value: forced },
+                                kind: CouplingKind::Idempotent {
+                                    aggressor_rises: rises,
+                                    forced_value: forced,
+                                },
                             },
                         ));
                     }
@@ -105,7 +116,9 @@ impl FaultUniverse {
                         victim,
                         CellFault::Coupling {
                             aggressor,
-                            kind: CouplingKind::Inversion { aggressor_rises: rises },
+                            kind: CouplingKind::Inversion {
+                                aggressor_rises: rises,
+                            },
                         },
                     ));
                 }
@@ -115,7 +128,10 @@ impl FaultUniverse {
                             victim,
                             CellFault::Coupling {
                                 aggressor,
-                                kind: CouplingKind::State { aggressor_value, forced_value: forced },
+                                kind: CouplingKind::State {
+                                    aggressor_value,
+                                    forced_value: forced,
+                                },
                             },
                         ));
                     }
@@ -131,10 +147,16 @@ impl FaultUniverse {
         let mut list = FaultList::new();
         let words = self.config.words();
         for address in self.config.addresses() {
-            list.push(MemoryFault::decoder(DecoderFault::new(address, DecoderFaultKind::NoAccess)));
+            list.push(MemoryFault::decoder(DecoderFault::new(
+                address,
+                DecoderFaultKind::NoAccess,
+            )));
             if words > 1 {
                 let other = address.wrapping_next(words);
-                list.push(MemoryFault::decoder(DecoderFault::new(address, DecoderFaultKind::MapsTo(other))));
+                list.push(MemoryFault::decoder(DecoderFault::new(
+                    address,
+                    DecoderFaultKind::MapsTo(other),
+                )));
                 list.push(MemoryFault::decoder(DecoderFault::new(
                     address,
                     DecoderFaultKind::AlsoAccesses(other),
@@ -188,7 +210,10 @@ impl FaultUniverse {
             out.push(CellCoord::new(victim.address, victim.bit + 1));
         }
         if victim.address.index() + 1 < self.config.words() {
-            out.push(CellCoord::new(Address::new(victim.address.index() + 1), victim.bit));
+            out.push(CellCoord::new(
+                Address::new(victim.address.index() + 1),
+                victim.bit,
+            ));
         }
         out
     }

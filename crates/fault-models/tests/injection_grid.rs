@@ -1,0 +1,104 @@
+//! Grid-level properties of the random defect injector: determinism
+//! under a fixed seed, exact defect counts, class restrictions and
+//! in-bounds sites, across the shared geometry grid.
+
+use fault_models::{DefectProfile, FaultClass, FaultInjector};
+use sram_model::Sram;
+use testutil::{small_geometry_grid, SEEDS};
+
+/// The same (seed, geometry, profile) triple always yields the same
+/// population; different seeds yield different ones.
+#[test]
+fn generation_is_deterministic_per_seed_across_the_grid() {
+    for config in small_geometry_grid() {
+        let profile = DefectProfile::with_data_retention(0.05);
+        for &seed in &SEEDS {
+            let a = FaultInjector::with_seed(seed).generate(config, &profile);
+            let b = FaultInjector::with_seed(seed).generate(config, &profile);
+            assert_eq!(a, b, "seed {seed} on {config} must be reproducible");
+        }
+        let first = FaultInjector::with_seed(SEEDS[0]).generate(config, &profile);
+        let second = FaultInjector::with_seed(SEEDS[1]).generate(config, &profile);
+        assert_ne!(first, second, "distinct seeds must differ on {config}");
+    }
+}
+
+/// The defect count is the rounded cell-count fraction, clamped to the
+/// number of cells, for every geometry and rate.
+#[test]
+fn defect_counts_match_the_rounded_rate_across_the_grid() {
+    for config in small_geometry_grid() {
+        for rate in [0.0, 0.01, 0.05, 0.25, 1.0] {
+            let list = FaultInjector::with_seed(SEEDS[2]).generate(config, &DefectProfile::date2005(rate));
+            let expected = ((config.cells() as f64 * rate).round() as u64).min(config.cells());
+            assert_eq!(list.len() as u64, expected, "rate {rate} on {config}");
+        }
+    }
+}
+
+/// Generated sites stay inside the geometry and cell faults never
+/// collide (sampling is without replacement).
+#[test]
+fn generated_sites_are_in_bounds_and_distinct() {
+    for config in small_geometry_grid() {
+        let list =
+            FaultInjector::with_seed(SEEDS[3]).generate(config, &DefectProfile::with_data_retention(0.2));
+        let mut coords = std::collections::BTreeSet::new();
+        for fault in list.iter() {
+            if let Some(coord) = fault.coord() {
+                assert!(
+                    coord.address.index() < config.words(),
+                    "address in range on {config}"
+                );
+                assert!(coord.bit < config.width(), "bit in range on {config}");
+                assert!(
+                    coords.insert((coord.address.index(), coord.bit)),
+                    "duplicate site {coord:?} on {config}"
+                );
+            }
+        }
+    }
+}
+
+/// Single-class profiles stay pure for every fault class in the
+/// taxonomy, and the class mix of the default profile stays within the
+/// four baseline classes.
+#[test]
+fn class_restrictions_hold_for_every_profile() {
+    for config in small_geometry_grid() {
+        for class in FaultClass::all() {
+            let list =
+                FaultInjector::with_seed(SEEDS[4]).generate(config, &DefectProfile::single_class(class, 0.1));
+            assert!(
+                list.iter().all(|f| f.class() == class),
+                "class {class} leaked on {config}"
+            );
+        }
+        let baseline = FaultInjector::with_seed(SEEDS[5]).generate(config, &DefectProfile::date2005(0.1));
+        let allowed = FaultClass::date2005_baseline_classes();
+        assert!(baseline.iter().all(|f| allowed.contains(&f.class())));
+    }
+}
+
+/// Injection actually lands in the memory: the SRAM reports faulty
+/// state exactly when the generated population is non-empty, and every
+/// cell fault in the list appears in the array.
+#[test]
+fn injection_applies_the_population_to_the_memory() {
+    for config in small_geometry_grid() {
+        let mut clean = Sram::new(config);
+        let empty = FaultInjector::with_seed(SEEDS[0])
+            .inject(&mut clean, &DefectProfile::date2005(0.0))
+            .expect("empty injection");
+        assert!(empty.is_empty());
+        assert!(!clean.is_faulty());
+
+        let mut sram = Sram::new(config);
+        let list = FaultInjector::with_seed(SEEDS[0])
+            .inject(&mut sram, &DefectProfile::single_class(FaultClass::StuckAt, 0.1))
+            .expect("stuck-at injection");
+        assert!(!list.is_empty());
+        assert!(sram.is_faulty());
+        assert_eq!(sram.cell_faults().len(), list.len());
+    }
+}

@@ -106,12 +106,14 @@ pub fn march_cw_intra_word_elements() -> Vec<MarchElement> {
 /// background followed by the intra-word element group under each of the
 /// ⌈log2 c⌉ binary backgrounds [13].
 pub fn march_cw(width: usize) -> MarchSchedule {
-    let mut phases =
-        vec![SchedulePhase::new(DataBackground::Solid, march_c_minus())];
+    let mut phases = vec![SchedulePhase::new(DataBackground::Solid, march_c_minus())];
     for background in DataBackground::march_cw_set(width) {
         phases.push(SchedulePhase::new(
             background,
-            MarchTest::new(format!("March CW intra-word ({background})"), march_cw_intra_word_elements()),
+            MarchTest::new(
+                format!("March CW intra-word ({background})"),
+                march_cw_intra_word_elements(),
+            ),
         ));
     }
     MarchSchedule::new("March CW", phases)
@@ -131,22 +133,42 @@ pub fn diag_rs_march_m1() -> MarchTest {
             MarchElement::labelled(
                 "M1b",
                 AddressOrder::Ascending,
-                vec![MarchOp::Read(false), MarchOp::Write(true), MarchOp::Read(true), MarchOp::Write(false)],
+                vec![
+                    MarchOp::Read(false),
+                    MarchOp::Write(true),
+                    MarchOp::Read(true),
+                    MarchOp::Write(false),
+                ],
             ),
             MarchElement::labelled(
                 "M1c",
                 AddressOrder::Descending,
-                vec![MarchOp::Read(false), MarchOp::Write(true), MarchOp::Read(true), MarchOp::Write(false)],
+                vec![
+                    MarchOp::Read(false),
+                    MarchOp::Write(true),
+                    MarchOp::Read(true),
+                    MarchOp::Write(false),
+                ],
             ),
             MarchElement::labelled(
                 "M1d",
                 AddressOrder::Ascending,
-                vec![MarchOp::Read(false), MarchOp::Write(true), MarchOp::Read(true), MarchOp::Write(false)],
+                vec![
+                    MarchOp::Read(false),
+                    MarchOp::Write(true),
+                    MarchOp::Read(true),
+                    MarchOp::Write(false),
+                ],
             ),
             MarchElement::labelled(
                 "M1e",
                 AddressOrder::Descending,
-                vec![MarchOp::Read(false), MarchOp::Write(true), MarchOp::Read(true), MarchOp::Write(false)],
+                vec![
+                    MarchOp::Read(false),
+                    MarchOp::Write(true),
+                    MarchOp::Read(true),
+                    MarchOp::Write(false),
+                ],
             ),
         ],
     )
@@ -206,7 +228,11 @@ pub fn with_nwrtm(test: &MarchTest) -> MarchTest {
         AddressOrder::Either,
         vec![MarchOp::Read(true), MarchOp::NwrcWrite(false)],
     ));
-    elements.push(MarchElement::labelled("Nwv", AddressOrder::Either, vec![MarchOp::Read(false)]));
+    elements.push(MarchElement::labelled(
+        "Nwv",
+        AddressOrder::Either,
+        vec![MarchOp::Read(false)],
+    ));
     MarchTest::new(name, elements)
 }
 
@@ -218,15 +244,31 @@ pub fn with_nwrtm(test: &MarchTest) -> MarchTest {
 pub fn with_retention_pauses(test: &MarchTest, pause_ms: u32) -> MarchTest {
     let name = format!("{} + retention pauses", test.name());
     let mut elements: Vec<MarchElement> = test.elements().to_vec();
-    elements.push(MarchElement::labelled("DR0w", AddressOrder::Either, vec![MarchOp::Write(false)]));
-    elements.push(MarchElement::labelled("DR0", AddressOrder::Either, vec![MarchOp::Pause(pause_ms)]));
+    elements.push(MarchElement::labelled(
+        "DR0w",
+        AddressOrder::Either,
+        vec![MarchOp::Write(false)],
+    ));
+    elements.push(MarchElement::labelled(
+        "DR0",
+        AddressOrder::Either,
+        vec![MarchOp::Pause(pause_ms)],
+    ));
     elements.push(MarchElement::labelled(
         "DR0r",
         AddressOrder::Either,
         vec![MarchOp::Read(false), MarchOp::Write(true)],
     ));
-    elements.push(MarchElement::labelled("DR1", AddressOrder::Either, vec![MarchOp::Pause(pause_ms)]));
-    elements.push(MarchElement::labelled("DR1r", AddressOrder::Either, vec![MarchOp::Read(true)]));
+    elements.push(MarchElement::labelled(
+        "DR1",
+        AddressOrder::Either,
+        vec![MarchOp::Pause(pause_ms)],
+    ));
+    elements.push(MarchElement::labelled(
+        "DR1r",
+        AddressOrder::Either,
+        vec![MarchOp::Read(true)],
+    ));
     MarchTest::new(name, elements)
 }
 
@@ -314,6 +356,8 @@ mod tests {
     fn algorithm_names_are_descriptive() {
         assert_eq!(march_c_minus().name(), "March C-");
         assert_eq!(march_cw(8).name(), "March CW");
-        assert!(with_retention_pauses(&march_c_minus(), 100).name().contains("retention"));
+        assert!(with_retention_pauses(&march_c_minus(), 100)
+            .name()
+            .contains("retention"));
     }
 }

@@ -14,8 +14,10 @@ use std::fmt;
 /// A data background: a rule assigning a pattern to every (row, width).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum DataBackground {
     /// All-zero background (the inverse pattern is all ones).
+    #[default]
     Solid,
     /// Checkerboard: alternating bits, phase alternating per row.
     Checkerboard,
@@ -71,12 +73,6 @@ impl DataBackground {
     }
 }
 
-impl Default for DataBackground {
-    fn default() -> Self {
-        DataBackground::Solid
-    }
-}
-
 impl fmt::Display for DataBackground {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -95,7 +91,7 @@ pub fn log2_ceil(x: usize) -> u32 {
     if x == 1 {
         0
     } else {
-        (usize::BITS - (x - 1).leading_zeros()) as u32
+        usize::BITS - (x - 1).leading_zeros()
     }
 }
 

@@ -48,7 +48,10 @@ pub struct CoverageReport {
 impl CoverageReport {
     /// Creates an empty report labelled with the programme name.
     pub fn new(name: impl Into<String>) -> Self {
-        CoverageReport { name: name.into(), classes: BTreeMap::new() }
+        CoverageReport {
+            name: name.into(),
+            classes: BTreeMap::new(),
+        }
     }
 
     /// Name of the programme the report describes.

@@ -120,7 +120,11 @@ impl MarchRunner {
     ///
     /// Propagates memory-model validation errors.
     pub fn run_schedule(&self, sram: &mut Sram, schedule: &MarchSchedule) -> Result<RunOutcome, MemError> {
-        let mut outcome = RunOutcome { failures: Vec::new(), operations: 0, pause_ms: 0.0 };
+        let mut outcome = RunOutcome {
+            failures: Vec::new(),
+            operations: 0,
+            pause_ms: 0.0,
+        };
         for (phase_index, phase) in schedule.phases().iter().enumerate() {
             let phase_outcome = self.run_test_phase(sram, &phase.test, phase.background, phase_index)?;
             outcome.merge(phase_outcome);
@@ -193,7 +197,11 @@ impl MarchRunner {
             }
         }
 
-        Ok(RunOutcome { failures, operations, pause_ms })
+        Ok(RunOutcome {
+            failures,
+            operations,
+            pause_ms,
+        })
     }
 }
 
@@ -233,14 +241,16 @@ mod tests {
         assert_eq!(outcome.failing_cells(), vec![(Address::new(5), 2)]);
         // The first detection happens in an r0 operation (the cell reads 1).
         let first = &outcome.failures[0];
-        assert_eq!(first.expected.bit(2), false);
-        assert_eq!(first.observed.bit(2), true);
+        assert!(!first.expected.bit(2));
+        assert!(first.observed.bit(2));
     }
 
     #[test]
     fn transition_fault_detected_by_march_c_minus_but_not_necessarily_by_mats_plus() {
         let mut sram = memory();
-        MemoryFault::transition_up(CellCoord::new(Address::new(3), 0)).inject_into(&mut sram).unwrap();
+        MemoryFault::transition_up(CellCoord::new(Address::new(3), 0))
+            .inject_into(&mut sram)
+            .unwrap();
         let outcome = MarchRunner::new()
             .run_test(&mut sram, &algorithms::march_c_minus(), DataBackground::Solid)
             .unwrap();
@@ -256,19 +266,29 @@ mod tests {
         let outcome = MarchRunner::new()
             .run_test(&mut sram, &algorithms::march_c_minus(), DataBackground::Solid)
             .unwrap();
-        assert!(outcome.passed(), "a DRF must escape a March test without NWRTM or pauses");
+        assert!(
+            outcome.passed(),
+            "a DRF must escape a March test without NWRTM or pauses"
+        );
     }
 
     #[test]
     fn drf_detected_by_nwrtm_merged_march_c_minus_without_pauses() {
         let mut sram = memory();
         let site = CellCoord::new(Address::new(7), 1);
-        MemoryFault::data_retention_a(site).inject_into(&mut sram).unwrap();
+        MemoryFault::data_retention_a(site)
+            .inject_into(&mut sram)
+            .unwrap();
         let test = algorithms::with_nwrtm(&algorithms::march_c_minus());
-        let outcome = MarchRunner::new().run_test(&mut sram, &test, DataBackground::Solid).unwrap();
+        let outcome = MarchRunner::new()
+            .run_test(&mut sram, &test, DataBackground::Solid)
+            .unwrap();
         assert!(!outcome.passed());
         assert_eq!(outcome.failing_cells(), vec![(Address::new(7), 1)]);
-        assert_eq!(outcome.pause_ms, 0.0, "NWRTM must not require any retention pause");
+        assert_eq!(
+            outcome.pause_ms, 0.0,
+            "NWRTM must not require any retention pause"
+        );
     }
 
     #[test]
@@ -278,7 +298,9 @@ mod tests {
             .inject_into(&mut sram)
             .unwrap();
         let test = algorithms::with_nwrtm(&algorithms::march_c_minus());
-        let outcome = MarchRunner::new().run_test(&mut sram, &test, DataBackground::Solid).unwrap();
+        let outcome = MarchRunner::new()
+            .run_test(&mut sram, &test, DataBackground::Solid)
+            .unwrap();
         assert!(!outcome.passed());
         assert_eq!(outcome.failing_cells(), vec![(Address::new(2), 3)]);
     }
@@ -290,7 +312,9 @@ mod tests {
             .inject_into(&mut sram)
             .unwrap();
         let test = algorithms::with_retention_pauses(&algorithms::march_c_minus(), 100);
-        let outcome = MarchRunner::new().run_test(&mut sram, &test, DataBackground::Solid).unwrap();
+        let outcome = MarchRunner::new()
+            .run_test(&mut sram, &test, DataBackground::Solid)
+            .unwrap();
         assert!(!outcome.passed());
         assert_eq!(outcome.pause_ms, 200.0);
     }
@@ -309,14 +333,21 @@ mod tests {
         let fault = MemoryFault::coupling_state(victim, aggressor, true, true);
         fault.inject_into(&mut plain).unwrap();
         let runner = MarchRunner::new();
-        let plain_outcome =
-            runner.run_test(&mut plain, &algorithms::march_c_minus(), DataBackground::Solid).unwrap();
-        assert!(plain_outcome.passed(), "solid background cannot sensitise this intra-word CFst");
+        let plain_outcome = runner
+            .run_test(&mut plain, &algorithms::march_c_minus(), DataBackground::Solid)
+            .unwrap();
+        assert!(
+            plain_outcome.passed(),
+            "solid background cannot sensitise this intra-word CFst"
+        );
 
         let mut cw = Sram::new(config);
         fault.inject_into(&mut cw).unwrap();
         let cw_outcome = runner.run_schedule(&mut cw, &algorithms::march_cw(4)).unwrap();
-        assert!(!cw_outcome.passed(), "March CW background phases must catch the intra-word CFst");
+        assert!(
+            !cw_outcome.passed(),
+            "March CW background phases must catch the intra-word CFst"
+        );
     }
 
     #[test]
@@ -330,8 +361,16 @@ mod tests {
 
     #[test]
     fn merge_combines_failures_and_counters() {
-        let mut a = RunOutcome { failures: Vec::new(), operations: 10, pause_ms: 1.0 };
-        let b = RunOutcome { failures: Vec::new(), operations: 5, pause_ms: 2.0 };
+        let mut a = RunOutcome {
+            failures: Vec::new(),
+            operations: 10,
+            pause_ms: 1.0,
+        };
+        let b = RunOutcome {
+            failures: Vec::new(),
+            operations: 5,
+            pause_ms: 2.0,
+        };
         a.merge(b);
         assert_eq!(a.operations, 15);
         assert_eq!(a.pause_ms, 3.0);

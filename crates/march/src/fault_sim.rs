@@ -11,10 +11,10 @@
 //! data-retention faults.
 
 use crate::background::DataBackground;
+use crate::coverage::CoverageReport;
 use crate::engine::{MarchRunner, RunOutcome};
 use crate::ops::MarchTest;
 use crate::schedule::MarchSchedule;
-use crate::coverage::CoverageReport;
 use fault_models::{FaultList, MemoryFault};
 use sram_model::{MemConfig, Sram};
 
@@ -70,7 +70,12 @@ impl FaultSimulator {
             .expect("march programme must match the simulator geometry");
         let detected = !run.passed();
         let located = detected && self.locates(fault, &run);
-        FaultSimOutcome { fault: *fault, detected, located, run }
+        FaultSimOutcome {
+            fault: *fault,
+            detected,
+            located,
+            run,
+        }
     }
 
     fn locates(&self, fault: &MemoryFault, run: &RunOutcome) -> bool {
@@ -79,10 +84,7 @@ impl FaultSimulator {
                 .failing_cells()
                 .iter()
                 .any(|(address, bit)| *address == coord.address && *bit == coord.bit),
-            MemoryFault::Decoder(decoder_fault) => run
-                .failing_addresses()
-                .iter()
-                .any(|address| *address == decoder_fault.address),
+            MemoryFault::Decoder(decoder_fault) => run.failing_addresses().contains(&decoder_fault.address),
         }
     }
 

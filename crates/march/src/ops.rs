@@ -107,12 +107,20 @@ pub struct MarchElement {
 impl MarchElement {
     /// Creates a March element.
     pub fn new(order: AddressOrder, ops: Vec<MarchOp>) -> Self {
-        MarchElement { order, ops, label: None }
+        MarchElement {
+            order,
+            ops,
+            label: None,
+        }
     }
 
     /// Creates a labelled March element.
     pub fn labelled(label: impl Into<String>, order: AddressOrder, ops: Vec<MarchOp>) -> Self {
-        MarchElement { order, ops, label: Some(label.into()) }
+        MarchElement {
+            order,
+            ops,
+            label: Some(label.into()),
+        }
     }
 
     /// Number of operations applied per address.
@@ -176,7 +184,10 @@ pub struct MarchTest {
 impl MarchTest {
     /// Creates a March test from its elements.
     pub fn new(name: impl Into<String>, elements: Vec<MarchElement>) -> Self {
-        MarchTest { name: name.into(), elements }
+        MarchTest {
+            name: name.into(),
+            elements,
+        }
     }
 
     /// Name of the algorithm (e.g. `"March C-"`).
@@ -207,12 +218,20 @@ impl MarchTest {
 
     /// Total read operations for a memory of `words` addresses.
     pub fn read_count(&self, words: u64) -> u64 {
-        self.elements.iter().map(|e| e.reads_per_address() as u64).sum::<u64>() * words
+        self.elements
+            .iter()
+            .map(|e| e.reads_per_address() as u64)
+            .sum::<u64>()
+            * words
     }
 
     /// Total write operations for a memory of `words` addresses.
     pub fn write_count(&self, words: u64) -> u64 {
-        self.elements.iter().map(|e| e.writes_per_address() as u64).sum::<u64>() * words
+        self.elements
+            .iter()
+            .map(|e| e.writes_per_address() as u64)
+            .sum::<u64>()
+            * words
     }
 
     /// Total retention pause time in milliseconds.
@@ -232,14 +251,20 @@ impl MarchTest {
 
     /// Returns a copy of the test with a different name.
     pub fn renamed(&self, name: impl Into<String>) -> MarchTest {
-        MarchTest { name: name.into(), elements: self.elements.clone() }
+        MarchTest {
+            name: name.into(),
+            elements: self.elements.clone(),
+        }
     }
 
     /// Appends the elements of `other` after this test's elements.
     pub fn concatenated(&self, other: &MarchTest, name: impl Into<String>) -> MarchTest {
         let mut elements = self.elements.clone();
         elements.extend(other.elements.iter().cloned());
-        MarchTest { name: name.into(), elements }
+        MarchTest {
+            name: name.into(),
+            elements,
+        }
     }
 }
 
@@ -328,7 +353,10 @@ mod tests {
             vec![
                 MarchElement::new(AddressOrder::Either, vec![MarchOp::Write(false)]),
                 sample_element(),
-                MarchElement::new(AddressOrder::Descending, vec![MarchOp::Read(true), MarchOp::Write(false)]),
+                MarchElement::new(
+                    AddressOrder::Descending,
+                    vec![MarchOp::Read(true), MarchOp::Write(false)],
+                ),
             ],
         );
         assert_eq!(test.complexity_per_address(), 5);

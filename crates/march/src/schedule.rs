@@ -35,13 +35,19 @@ pub struct MarchSchedule {
 impl MarchSchedule {
     /// Creates a schedule from its phases.
     pub fn new(name: impl Into<String>, phases: Vec<SchedulePhase>) -> Self {
-        MarchSchedule { name: name.into(), phases }
+        MarchSchedule {
+            name: name.into(),
+            phases,
+        }
     }
 
     /// Wraps a single-background test into a one-phase schedule.
     pub fn single(test: MarchTest, background: DataBackground) -> Self {
         let name = test.name().to_string();
-        MarchSchedule { name, phases: vec![SchedulePhase::new(background, test)] }
+        MarchSchedule {
+            name,
+            phases: vec![SchedulePhase::new(background, test)],
+        }
     }
 
     /// Name of the programme (e.g. `"March CW"`).
@@ -104,13 +110,22 @@ impl MarchSchedule {
         if let Some(last) = phases.last_mut() {
             last.test = transform(&last.test);
         }
-        MarchSchedule { name: name.into(), phases }
+        MarchSchedule {
+            name: name.into(),
+            phases,
+        }
     }
 }
 
 impl fmt::Display for MarchSchedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} phases, {} ops/address)", self.name, self.phases.len(), self.complexity_per_address())
+        write!(
+            f,
+            "{} ({} phases, {} ops/address)",
+            self.name,
+            self.phases.len(),
+            self.complexity_per_address()
+        )
     }
 }
 
@@ -142,7 +157,7 @@ mod tests {
     #[test]
     fn map_last_phase_applies_nwrtm_to_the_final_phase_only() {
         let schedule = algorithms::march_cw(8);
-        let with_drf = schedule.map_last_phase("March CW + NWRTM", |t| algorithms::with_nwrtm(t));
+        let with_drf = schedule.map_last_phase("March CW + NWRTM", algorithms::with_nwrtm);
         assert!(with_drf.has_nwrc());
         assert_eq!(with_drf.name(), "March CW + NWRTM");
         // Only the last phase gained operations.

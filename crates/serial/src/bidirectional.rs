@@ -140,7 +140,11 @@ impl BidirectionalSerialInterface {
             }
         }
 
-        Ok(SerialElementOutcome { located, mismatches, cycles })
+        Ok(SerialElementOutcome {
+            located,
+            mismatches,
+            cycles,
+        })
     }
 }
 
@@ -200,7 +204,10 @@ mod tests {
             )
             .unwrap();
         assert_eq!(outcome.located, Some((Address::new(1), 0)));
-        assert_eq!(outcome.mismatches, 2, "both faults raise mismatches but only one is attributed");
+        assert_eq!(
+            outcome.mismatches, 2,
+            "both faults raise mismatches but only one is attributed"
+        );
     }
 
     #[test]

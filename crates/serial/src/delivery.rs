@@ -38,10 +38,21 @@ impl PatternDeliveryBus {
     ///
     /// Panics if `widths` is empty or contains a zero width.
     pub fn with_order(widths: &[usize], order: ShiftOrder) -> Self {
-        assert!(!widths.is_empty(), "pattern delivery bus needs at least one memory");
+        assert!(
+            !widths.is_empty(),
+            "pattern delivery bus needs at least one memory"
+        );
         let widest = *widths.iter().max().expect("non-empty widths");
-        let spcs = widths.iter().map(|&w| SerialToParallelConverter::new(w)).collect();
-        PatternDeliveryBus { widest, order, spcs, broadcast_cycles: 0 }
+        let spcs = widths
+            .iter()
+            .map(|&w| SerialToParallelConverter::new(w))
+            .collect();
+        PatternDeliveryBus {
+            widest,
+            order,
+            spcs,
+            broadcast_cycles: 0,
+        }
     }
 
     /// IO width of the widest memory on the bus.
@@ -71,7 +82,11 @@ impl PatternDeliveryBus {
     ///
     /// Panics if the pattern width differs from the widest memory width.
     pub fn broadcast(&mut self, pattern: &DataWord) -> u64 {
-        assert_eq!(pattern.width(), self.widest, "broadcast pattern must use the widest width");
+        assert_eq!(
+            pattern.width(),
+            self.widest,
+            "broadcast pattern must use the widest width"
+        );
         let bits = match self.order {
             ShiftOrder::MsbFirst => pattern.bits_msb_first(),
             ShiftOrder::LsbFirst => pattern.bits_lsb_first(),

@@ -12,8 +12,8 @@
 //! masking behaviour so the benches can quantify what the later
 //! interfaces fix.
 
-use march::{DataBackground, MarchTest};
 use march::MarchRunner;
+use march::{DataBackground, MarchTest};
 use sram_model::{Address, MemError, Sram};
 use std::collections::BTreeSet;
 

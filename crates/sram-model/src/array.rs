@@ -97,7 +97,10 @@ impl Sram {
     fn check_coord(&self, coord: CellCoord) -> Result<(), MemError> {
         self.config.check_address(coord.address)?;
         if coord.bit >= self.config.width() {
-            return Err(MemError::BitOutOfRange { bit: coord.bit, width: self.config.width() });
+            return Err(MemError::BitOutOfRange {
+                bit: coord.bit,
+                width: self.config.width(),
+            });
         }
         Ok(())
     }
@@ -234,7 +237,10 @@ impl Sram {
             let fault = self.cells[index].fault();
             if let Some(CellFault::Coupling { kind, .. }) = fault {
                 match kind {
-                    CouplingKind::Idempotent { aggressor_rises, forced_value } => {
+                    CouplingKind::Idempotent {
+                        aggressor_rises,
+                        forced_value,
+                    } => {
                         if aggressor_rises == aggressor_rose {
                             self.cells[index].force(forced_value);
                         }
@@ -259,7 +265,11 @@ impl Sram {
         let index = self.cell_index(coord);
         if let Some(CellFault::Coupling {
             aggressor,
-            kind: CouplingKind::State { aggressor_value, forced_value },
+            kind:
+                CouplingKind::State {
+                    aggressor_value,
+                    forced_value,
+                },
         }) = self.cells[index].fault()
         {
             let aggressor_index = self.cell_index(aggressor);
@@ -442,7 +452,8 @@ mod tests {
     #[test]
     fn stuck_at_cell_visible_at_port() {
         let mut sram = small();
-        sram.inject_cell_fault(CellCoord::new(Address::new(2), 3), CellFault::StuckAt(true)).unwrap();
+        sram.inject_cell_fault(CellCoord::new(Address::new(2), 3), CellFault::StuckAt(true))
+            .unwrap();
         sram.write(Address::new(2), &DataWord::zero(4)).unwrap();
         let observed = sram.read(Address::new(2)).unwrap();
         assert!(observed.bit(3));
@@ -487,7 +498,8 @@ mod tests {
         // faulty decoder writes both rows; then corrupt row 4 directly.
         sram.write(Address::new(3), &DataWord::splat(true, 4)).unwrap();
         assert_eq!(sram.peek(Address::new(4)).unwrap(), DataWord::splat(true, 4));
-        sram.force_word(Address::new(4), &DataWord::from_u64(0b0101, 4)).unwrap();
+        sram.force_word(Address::new(4), &DataWord::from_u64(0b0101, 4))
+            .unwrap();
         let observed = sram.read(Address::new(3)).unwrap();
         assert_eq!(observed, DataWord::from_u64(0b0101, 4));
     }
@@ -501,7 +513,10 @@ mod tests {
             victim,
             CellFault::Coupling {
                 aggressor,
-                kind: CouplingKind::Idempotent { aggressor_rises: true, forced_value: true },
+                kind: CouplingKind::Idempotent {
+                    aggressor_rises: true,
+                    forced_value: true,
+                },
             },
         )
         .unwrap();
@@ -509,7 +524,8 @@ mod tests {
         sram.write(Address::new(1), &DataWord::zero(4)).unwrap();
         assert!(!sram.peek_cell(victim).unwrap());
         // Rising transition of the aggressor bit 0: victim forced to 1.
-        sram.write(Address::new(1), &DataWord::from_u64(0b0001, 4)).unwrap();
+        sram.write(Address::new(1), &DataWord::from_u64(0b0001, 4))
+            .unwrap();
         assert!(sram.peek_cell(victim).unwrap());
     }
 
@@ -522,16 +538,20 @@ mod tests {
             victim,
             CellFault::Coupling {
                 aggressor,
-                kind: CouplingKind::Inversion { aggressor_rises: false },
+                kind: CouplingKind::Inversion {
+                    aggressor_rises: false,
+                },
             },
         )
         .unwrap();
         // Rise (not sensitising), then fall (sensitising) twice.
-        sram.write(Address::new(0), &DataWord::from_u64(0b0010, 4)).unwrap();
+        sram.write(Address::new(0), &DataWord::from_u64(0b0010, 4))
+            .unwrap();
         assert!(!sram.peek_cell(victim).unwrap());
         sram.write(Address::new(0), &DataWord::zero(4)).unwrap();
         assert!(sram.peek_cell(victim).unwrap());
-        sram.write(Address::new(0), &DataWord::from_u64(0b0010, 4)).unwrap();
+        sram.write(Address::new(0), &DataWord::from_u64(0b0010, 4))
+            .unwrap();
         sram.write(Address::new(0), &DataWord::zero(4)).unwrap();
         assert!(!sram.peek_cell(victim).unwrap());
     }
@@ -545,15 +565,20 @@ mod tests {
             victim,
             CellFault::Coupling {
                 aggressor,
-                kind: CouplingKind::State { aggressor_value: true, forced_value: false },
+                kind: CouplingKind::State {
+                    aggressor_value: true,
+                    forced_value: false,
+                },
             },
         )
         .unwrap();
         // Victim written to 1 while aggressor is 0: reads back 1.
-        sram.write(Address::new(5), &DataWord::from_u64(0b0010, 4)).unwrap();
+        sram.write(Address::new(5), &DataWord::from_u64(0b0010, 4))
+            .unwrap();
         assert!(sram.read(Address::new(5)).unwrap().bit(1));
         // Aggressor set to 1: victim reads as forced 0.
-        sram.write(Address::new(2), &DataWord::from_u64(0b0001, 4)).unwrap();
+        sram.write(Address::new(2), &DataWord::from_u64(0b0001, 4))
+            .unwrap();
         assert!(!sram.read(Address::new(5)).unwrap().bit(1));
     }
 
@@ -561,7 +586,8 @@ mod tests {
     fn drf_cell_passes_at_speed_but_fails_after_retention_pause() {
         let mut sram = small();
         let coord = CellCoord::new(Address::new(4), 0);
-        sram.inject_cell_fault(coord, CellFault::DataRetention { node: CellNode::A }).unwrap();
+        sram.inject_cell_fault(coord, CellFault::DataRetention { node: CellNode::A })
+            .unwrap();
         sram.write(Address::new(4), &DataWord::splat(true, 4)).unwrap();
         assert!(sram.read(Address::new(4)).unwrap().bit(0)); // at-speed pass
         sram.elapse_retention(100.0);
@@ -573,9 +599,11 @@ mod tests {
     fn nwrc_write_exposes_drf_without_pause() {
         let mut sram = small();
         let coord = CellCoord::new(Address::new(4), 2);
-        sram.inject_cell_fault(coord, CellFault::DataRetention { node: CellNode::A }).unwrap();
+        sram.inject_cell_fault(coord, CellFault::DataRetention { node: CellNode::A })
+            .unwrap();
         sram.write(Address::new(4), &DataWord::zero(4)).unwrap();
-        sram.write_nwrc(Address::new(4), &DataWord::splat(true, 4)).unwrap();
+        sram.write_nwrc(Address::new(4), &DataWord::splat(true, 4))
+            .unwrap();
         let observed = sram.read(Address::new(4)).unwrap();
         assert!(!observed.bit(2)); // DRF cell failed to flip under NWRC
         assert!(observed.bit(0) && observed.bit(1) && observed.bit(3)); // good cells flipped
@@ -584,7 +612,8 @@ mod tests {
     #[test]
     fn stuck_open_cell_returns_previous_sense_value() {
         let mut sram = small();
-        sram.inject_cell_fault(CellCoord::new(Address::new(1), 1), CellFault::StuckOpen).unwrap();
+        sram.inject_cell_fault(CellCoord::new(Address::new(1), 1), CellFault::StuckOpen)
+            .unwrap();
         // Prime sense amp bit 1 with a one from another address.
         sram.write(Address::new(0), &DataWord::splat(true, 4)).unwrap();
         sram.read(Address::new(0)).unwrap();
@@ -597,7 +626,8 @@ mod tests {
     #[test]
     fn clear_faults_restores_fault_free_behaviour() {
         let mut sram = small();
-        sram.inject_cell_fault(CellCoord::new(Address::new(0), 0), CellFault::StuckAt(true)).unwrap();
+        sram.inject_cell_fault(CellCoord::new(Address::new(0), 0), CellFault::StuckAt(true))
+            .unwrap();
         sram.inject_decoder_fault(DecoderFault::new(Address::new(1), DecoderFaultKind::NoAccess))
             .unwrap();
         assert!(sram.is_faulty());
@@ -610,8 +640,10 @@ mod tests {
     #[test]
     fn cell_faults_listing_reports_coordinates_in_order() {
         let mut sram = small();
-        sram.inject_cell_fault(CellCoord::new(Address::new(5), 3), CellFault::StuckAt(false)).unwrap();
-        sram.inject_cell_fault(CellCoord::new(Address::new(1), 0), CellFault::TransitionUp).unwrap();
+        sram.inject_cell_fault(CellCoord::new(Address::new(5), 3), CellFault::StuckAt(false))
+            .unwrap();
+        sram.inject_cell_fault(CellCoord::new(Address::new(1), 0), CellFault::TransitionUp)
+            .unwrap();
         let faults = sram.cell_faults();
         assert_eq!(faults.len(), 2);
         assert_eq!(faults[0].0, CellCoord::new(Address::new(1), 0));
@@ -631,7 +663,8 @@ mod tests {
     #[test]
     fn peek_and_force_do_not_touch_trace() {
         let mut sram = small();
-        sram.force_word(Address::new(3), &DataWord::splat(true, 4)).unwrap();
+        sram.force_word(Address::new(3), &DataWord::splat(true, 4))
+            .unwrap();
         assert_eq!(sram.peek(Address::new(3)).unwrap(), DataWord::splat(true, 4));
         assert_eq!(sram.trace().clock_cycles(), 0);
     }

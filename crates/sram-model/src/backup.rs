@@ -90,10 +90,14 @@ impl BackupMemory {
     pub fn repair(&mut self, address: Address) -> Result<(), MemError> {
         self.config.check_address(address)?;
         if self.map.contains_key(&address.index()) {
-            return Err(MemError::AlreadyRepaired { address: address.index() });
+            return Err(MemError::AlreadyRepaired {
+                address: address.index(),
+            });
         }
         if self.next_free >= self.spares.len() {
-            return Err(MemError::NoSpareAvailable { address: address.index() });
+            return Err(MemError::NoSpareAvailable {
+                address: address.index(),
+            });
         }
         self.map.insert(address.index(), self.next_free);
         self.next_free += 1;
@@ -160,13 +164,21 @@ mod tests {
     #[test]
     fn repair_redirects_accesses_to_spare_words() {
         let (mut sram, mut backup) = setup();
-        sram.inject_cell_fault(CellCoord::new(Address::new(3), 0), CellFault::StuckAt(false)).unwrap();
+        sram.inject_cell_fault(CellCoord::new(Address::new(3), 0), CellFault::StuckAt(false))
+            .unwrap();
         backup.repair(Address::new(3)).unwrap();
-        backup.write(&mut sram, Address::new(3), &DataWord::splat(true, 4)).unwrap();
+        backup
+            .write(&mut sram, Address::new(3), &DataWord::splat(true, 4))
+            .unwrap();
         // Through the repair map, the stuck-at fault is no longer visible.
-        assert_eq!(backup.read(&mut sram, Address::new(3)).unwrap(), DataWord::splat(true, 4));
+        assert_eq!(
+            backup.read(&mut sram, Address::new(3)).unwrap(),
+            DataWord::splat(true, 4)
+        );
         // Unrepaired addresses still reach the main array.
-        backup.write(&mut sram, Address::new(1), &DataWord::splat(true, 4)).unwrap();
+        backup
+            .write(&mut sram, Address::new(1), &DataWord::splat(true, 4))
+            .unwrap();
         assert_eq!(sram.peek(Address::new(1)).unwrap(), DataWord::splat(true, 4));
     }
 
@@ -187,7 +199,10 @@ mod tests {
     fn double_repair_is_rejected() {
         let (_sram, mut backup) = setup();
         backup.repair(Address::new(5)).unwrap();
-        assert_eq!(backup.repair(Address::new(5)), Err(MemError::AlreadyRepaired { address: 5 }));
+        assert_eq!(
+            backup.repair(Address::new(5)),
+            Err(MemError::AlreadyRepaired { address: 5 })
+        );
         assert!(backup.is_repaired(Address::new(5)));
         assert_eq!(backup.repaired_addresses(), vec![Address::new(5)]);
     }
@@ -209,7 +224,10 @@ mod tests {
 
     #[test]
     fn empty_repair_outcome_is_fully_repaired() {
-        let outcome = RepairOutcome { repaired: vec![], unrepaired: vec![] };
+        let outcome = RepairOutcome {
+            repaired: vec![],
+            unrepaired: vec![],
+        };
         assert!(outcome.is_fully_repaired());
         assert_eq!(outcome.repair_ratio(), 1.0);
     }

@@ -90,14 +90,30 @@ pub enum CouplingKind {
 impl fmt::Display for CouplingKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            CouplingKind::Idempotent { aggressor_rises, forced_value } => {
-                write!(f, "CFid<{},{}>", if *aggressor_rises { "↑" } else { "↓" }, u8::from(*forced_value))
+            CouplingKind::Idempotent {
+                aggressor_rises,
+                forced_value,
+            } => {
+                write!(
+                    f,
+                    "CFid<{},{}>",
+                    if *aggressor_rises { "↑" } else { "↓" },
+                    u8::from(*forced_value)
+                )
             }
             CouplingKind::Inversion { aggressor_rises } => {
                 write!(f, "CFin<{}>", if *aggressor_rises { "↑" } else { "↓" })
             }
-            CouplingKind::State { aggressor_value, forced_value } => {
-                write!(f, "CFst<{},{}>", u8::from(*aggressor_value), u8::from(*forced_value))
+            CouplingKind::State {
+                aggressor_value,
+                forced_value,
+            } => {
+                write!(
+                    f,
+                    "CFst<{},{}>",
+                    u8::from(*aggressor_value),
+                    u8::from(*forced_value)
+                )
             }
         }
     }
@@ -207,7 +223,11 @@ pub struct Cell {
 impl Cell {
     /// Creates a fault-free cell storing `0`.
     pub fn new() -> Self {
-        Cell { value: false, fault: None, decayed: false }
+        Cell {
+            value: false,
+            fault: None,
+            decayed: false,
+        }
     }
 
     /// Creates a cell with the given fault, storing `0` (or the stuck
@@ -217,7 +237,11 @@ impl Cell {
             CellFault::StuckAt(v) => v,
             _ => false,
         };
-        Cell { value, fault: Some(fault), decayed: false }
+        Cell {
+            value,
+            fault: Some(fault),
+            decayed: false,
+        }
     }
 
     /// The fault attached to this cell, if any.
@@ -310,17 +334,27 @@ impl Cell {
         match self.fault {
             Some(CellFault::ReadDestructive) => {
                 self.value = !self.value;
-                CellReadOutcome { observed: self.value, stored_after: self.value }
+                CellReadOutcome {
+                    observed: self.value,
+                    stored_after: self.value,
+                }
             }
             Some(CellFault::DeceptiveReadDestructive) => {
                 let original = self.value;
                 self.value = !self.value;
-                CellReadOutcome { observed: original, stored_after: self.value }
+                CellReadOutcome {
+                    observed: original,
+                    stored_after: self.value,
+                }
             }
-            Some(CellFault::IncorrectRead) => {
-                CellReadOutcome { observed: !self.value, stored_after: self.value }
-            }
-            _ => CellReadOutcome { observed: self.value, stored_after: self.value },
+            Some(CellFault::IncorrectRead) => CellReadOutcome {
+                observed: !self.value,
+                stored_after: self.value,
+            },
+            _ => CellReadOutcome {
+                observed: self.value,
+                stored_after: self.value,
+            },
         }
     }
 
@@ -512,10 +546,15 @@ mod tests {
         assert_eq!(CellFault::StuckAt(false).mnemonic(), "SA0");
         assert_eq!(CellFault::StuckAt(true).mnemonic(), "SA1");
         assert_eq!(CellFault::TransitionUp.mnemonic(), "TF↑");
-        assert_eq!(CellFault::DataRetention { node: CellNode::A }.mnemonic(), "DRF(A)");
+        assert_eq!(
+            CellFault::DataRetention { node: CellNode::A }.mnemonic(),
+            "DRF(A)"
+        );
         let cf = CellFault::Coupling {
             aggressor: CellCoord::new(Address::new(3), 1),
-            kind: CouplingKind::Inversion { aggressor_rises: true },
+            kind: CouplingKind::Inversion {
+                aggressor_rises: true,
+            },
         };
         assert_eq!(cf.mnemonic(), "CFin<↑>");
         assert!(cf.is_coupling());

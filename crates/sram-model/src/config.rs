@@ -104,7 +104,10 @@ impl MemConfig {
 
     /// The benchmark e-SRAM of the paper's case study: 512 words x 100 bits.
     pub fn date2005_benchmark() -> Self {
-        MemConfig { words: 512, width: 100 }
+        MemConfig {
+            words: 512,
+            width: 100,
+        }
     }
 
     /// Number of words.
@@ -146,7 +149,10 @@ impl MemConfig {
         if self.contains(address) {
             Ok(())
         } else {
-            Err(MemError::AddressOutOfRange { address: address.0, words: self.words })
+            Err(MemError::AddressOutOfRange {
+                address: address.0,
+                words: self.words,
+            })
         }
     }
 
@@ -160,7 +166,10 @@ impl MemConfig {
         if width == self.width {
             Ok(())
         } else {
-            Err(MemError::WidthMismatch { supplied: width, expected: self.width })
+            Err(MemError::WidthMismatch {
+                supplied: width,
+                expected: self.width,
+            })
         }
     }
 
@@ -187,8 +196,14 @@ mod tests {
 
     #[test]
     fn new_rejects_zero_words_and_zero_width() {
-        assert!(matches!(MemConfig::new(0, 8), Err(MemError::InvalidConfig { .. })));
-        assert!(matches!(MemConfig::new(16, 0), Err(MemError::InvalidConfig { .. })));
+        assert!(matches!(
+            MemConfig::new(0, 8),
+            Err(MemError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            MemConfig::new(16, 0),
+            Err(MemError::InvalidConfig { .. })
+        ));
         assert!(MemConfig::new(1, 1).is_ok());
     }
 
@@ -229,7 +244,13 @@ mod tests {
     fn check_width_accepts_only_exact_width() {
         let c = MemConfig::new(8, 4).unwrap();
         assert!(c.check_width(4).is_ok());
-        assert_eq!(c.check_width(5), Err(MemError::WidthMismatch { supplied: 5, expected: 4 }));
+        assert_eq!(
+            c.check_width(5),
+            Err(MemError::WidthMismatch {
+                supplied: 5,
+                expected: 4
+            })
+        );
     }
 
     #[test]

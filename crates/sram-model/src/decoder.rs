@@ -69,7 +69,10 @@ pub struct AddressDecoder {
 impl AddressDecoder {
     /// Creates a fault-free decoder for the given geometry.
     pub fn new(config: MemConfig) -> Self {
-        AddressDecoder { config, faults: BTreeMap::new() }
+        AddressDecoder {
+            config,
+            faults: BTreeMap::new(),
+        }
     }
 
     /// Injects a decoder fault.
@@ -150,7 +153,9 @@ mod tests {
     #[test]
     fn no_access_fault_activates_nothing() {
         let mut decoder = AddressDecoder::new(config());
-        decoder.inject(DecoderFault::new(Address::new(5), DecoderFaultKind::NoAccess)).unwrap();
+        decoder
+            .inject(DecoderFault::new(Address::new(5), DecoderFaultKind::NoAccess))
+            .unwrap();
         assert!(decoder.activated_rows(Address::new(5)).is_empty());
         assert_eq!(decoder.activated_rows(Address::new(6)), vec![Address::new(6)]);
         assert!(decoder.is_faulty());
@@ -160,7 +165,10 @@ mod tests {
     fn maps_to_fault_redirects_access() {
         let mut decoder = AddressDecoder::new(config());
         decoder
-            .inject(DecoderFault::new(Address::new(3), DecoderFaultKind::MapsTo(Address::new(9))))
+            .inject(DecoderFault::new(
+                Address::new(3),
+                DecoderFaultKind::MapsTo(Address::new(9)),
+            ))
             .unwrap();
         assert_eq!(decoder.activated_rows(Address::new(3)), vec![Address::new(9)]);
     }
@@ -169,7 +177,10 @@ mod tests {
     fn also_accesses_fault_activates_two_rows() {
         let mut decoder = AddressDecoder::new(config());
         decoder
-            .inject(DecoderFault::new(Address::new(2), DecoderFaultKind::AlsoAccesses(Address::new(7))))
+            .inject(DecoderFault::new(
+                Address::new(2),
+                DecoderFaultKind::AlsoAccesses(Address::new(7)),
+            ))
             .unwrap();
         assert_eq!(
             decoder.activated_rows(Address::new(2)),
@@ -181,7 +192,10 @@ mod tests {
     fn also_accesses_self_degenerates_to_single_access() {
         let mut decoder = AddressDecoder::new(config());
         decoder
-            .inject(DecoderFault::new(Address::new(2), DecoderFaultKind::AlsoAccesses(Address::new(2))))
+            .inject(DecoderFault::new(
+                Address::new(2),
+                DecoderFaultKind::AlsoAccesses(Address::new(2)),
+            ))
             .unwrap();
         assert_eq!(decoder.activated_rows(Address::new(2)), vec![Address::new(2)]);
     }
@@ -193,14 +207,19 @@ mod tests {
             .inject(DecoderFault::new(Address::new(99), DecoderFaultKind::NoAccess))
             .is_err());
         assert!(decoder
-            .inject(DecoderFault::new(Address::new(1), DecoderFaultKind::MapsTo(Address::new(99))))
+            .inject(DecoderFault::new(
+                Address::new(1),
+                DecoderFaultKind::MapsTo(Address::new(99))
+            ))
             .is_err());
     }
 
     #[test]
     fn clear_faults_restores_identity() {
         let mut decoder = AddressDecoder::new(config());
-        decoder.inject(DecoderFault::new(Address::new(5), DecoderFaultKind::NoAccess)).unwrap();
+        decoder
+            .inject(DecoderFault::new(Address::new(5), DecoderFaultKind::NoAccess))
+            .unwrap();
         decoder.clear_faults();
         assert_eq!(decoder.activated_rows(Address::new(5)), vec![Address::new(5)]);
     }

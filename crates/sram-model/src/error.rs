@@ -58,7 +58,10 @@ impl fmt::Display for MemError {
                 write!(f, "address {address} out of range for memory with {words} words")
             }
             MemError::WidthMismatch { supplied, expected } => {
-                write!(f, "data word width {supplied} does not match memory IO width {expected}")
+                write!(
+                    f,
+                    "data word width {supplied} does not match memory IO width {expected}"
+                )
             }
             MemError::BitOutOfRange { bit, width } => {
                 write!(f, "bit index {bit} out of range for word width {width}")
@@ -84,9 +87,18 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_specific() {
-        let e = MemError::AddressOutOfRange { address: 600, words: 512 };
-        assert_eq!(e.to_string(), "address 600 out of range for memory with 512 words");
-        let e = MemError::WidthMismatch { supplied: 3, expected: 4 };
+        let e = MemError::AddressOutOfRange {
+            address: 600,
+            words: 512,
+        };
+        assert_eq!(
+            e.to_string(),
+            "address 600 out of range for memory with 512 words"
+        );
+        let e = MemError::WidthMismatch {
+            supplied: 3,
+            expected: 4,
+        };
         assert!(e.to_string().contains("width 3"));
         let e = MemError::BitOutOfRange { bit: 9, width: 8 };
         assert!(e.to_string().contains("bit index 9"));

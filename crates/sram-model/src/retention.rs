@@ -27,7 +27,10 @@ impl RetentionModel {
     /// (200 ms total for the two states), with decay completing within
     /// that pause.
     pub fn date2005() -> Self {
-        RetentionModel { decay_threshold_ms: 100.0, pause_ms: 100.0 }
+        RetentionModel {
+            decay_threshold_ms: 100.0,
+            pause_ms: 100.0,
+        }
     }
 
     /// Creates a retention model.
@@ -38,7 +41,10 @@ impl RetentionModel {
     pub fn new(decay_threshold_ms: f64, pause_ms: f64) -> Self {
         assert!(decay_threshold_ms.is_finite() && decay_threshold_ms >= 0.0);
         assert!(pause_ms.is_finite() && pause_ms >= 0.0);
-        RetentionModel { decay_threshold_ms, pause_ms }
+        RetentionModel {
+            decay_threshold_ms,
+            pause_ms,
+        }
     }
 
     /// True if the configured pause is long enough to expose DRFs.
@@ -61,7 +67,11 @@ impl Default for RetentionModel {
 
 impl fmt::Display for RetentionModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "retention(pause={}ms, threshold={}ms)", self.pause_ms, self.decay_threshold_ms)
+        write!(
+            f,
+            "retention(pause={}ms, threshold={}ms)",
+            self.pause_ms, self.decay_threshold_ms
+        )
     }
 }
 

@@ -66,32 +66,62 @@ pub struct MemOp {
 impl MemOp {
     /// Creates a read record.
     pub fn read(address: Address, observed: DataWord) -> Self {
-        MemOp { kind: OpKind::Read, address: Some(address), data: Some(observed), pause_ms: 0.0 }
+        MemOp {
+            kind: OpKind::Read,
+            address: Some(address),
+            data: Some(observed),
+            pause_ms: 0.0,
+        }
     }
 
     /// Creates a write record.
     pub fn write(address: Address, data: DataWord) -> Self {
-        MemOp { kind: OpKind::Write, address: Some(address), data: Some(data), pause_ms: 0.0 }
+        MemOp {
+            kind: OpKind::Write,
+            address: Some(address),
+            data: Some(data),
+            pause_ms: 0.0,
+        }
     }
 
     /// Creates an NWRC write record.
     pub fn nwrc_write(address: Address, data: DataWord) -> Self {
-        MemOp { kind: OpKind::NwrcWrite, address: Some(address), data: Some(data), pause_ms: 0.0 }
+        MemOp {
+            kind: OpKind::NwrcWrite,
+            address: Some(address),
+            data: Some(data),
+            pause_ms: 0.0,
+        }
     }
 
     /// Creates a no-op record.
     pub fn no_op() -> Self {
-        MemOp { kind: OpKind::NoOp, address: None, data: None, pause_ms: 0.0 }
+        MemOp {
+            kind: OpKind::NoOp,
+            address: None,
+            data: None,
+            pause_ms: 0.0,
+        }
     }
 
     /// Creates an ignored-read record.
     pub fn read_ignored(address: Address) -> Self {
-        MemOp { kind: OpKind::ReadIgnored, address: Some(address), data: None, pause_ms: 0.0 }
+        MemOp {
+            kind: OpKind::ReadIgnored,
+            address: Some(address),
+            data: None,
+            pause_ms: 0.0,
+        }
     }
 
     /// Creates a retention-pause record.
     pub fn retention_pause(pause_ms: f64) -> Self {
-        MemOp { kind: OpKind::RetentionPause, address: None, data: None, pause_ms }
+        MemOp {
+            kind: OpKind::RetentionPause,
+            address: None,
+            data: None,
+            pause_ms,
+        }
     }
 }
 
@@ -109,7 +139,12 @@ impl OperationTrace {
     /// Creates an empty trace with recording of individual operations
     /// disabled (cycle counting is always on).
     pub fn new() -> Self {
-        OperationTrace { ops: Vec::new(), enabled: false, clock_cycles: 0, pause_ms: 0.0 }
+        OperationTrace {
+            ops: Vec::new(),
+            enabled: false,
+            clock_cycles: 0,
+            pause_ms: 0.0,
+        }
     }
 
     /// Enables or disables recording of individual operations.

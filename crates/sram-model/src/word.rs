@@ -80,7 +80,7 @@ impl DataWord {
     pub fn checkerboard(width: usize, row: u64, inverted: bool) -> Self {
         let mut word = DataWord::zero(width);
         for bit in 0..width {
-            let phase = (bit as u64 + row) % 2 == 0;
+            let phase = (bit as u64 + row).is_multiple_of(2);
             word.set(bit, phase ^ inverted);
         }
         word
@@ -98,7 +98,7 @@ impl DataWord {
 
     /// Row-stripe background: the whole word is `row % 2 == 0` XOR `inverted`.
     pub fn row_stripe(width: usize, row: u64, inverted: bool) -> Self {
-        DataWord::splat((row % 2 == 0) ^ inverted, width)
+        DataWord::splat(row.is_multiple_of(2) ^ inverted, width)
     }
 
     /// Width of the word in bits.
@@ -112,7 +112,11 @@ impl DataWord {
     ///
     /// Panics if `index >= width`.
     pub fn bit(&self, index: usize) -> bool {
-        assert!(index < self.width, "bit index {index} out of range for width {}", self.width);
+        assert!(
+            index < self.width,
+            "bit index {index} out of range for width {}",
+            self.width
+        );
         (self.limbs[index / 64] >> (index % 64)) & 1 == 1
     }
 
@@ -125,7 +129,10 @@ impl DataWord {
         if index < self.width {
             Ok(self.bit(index))
         } else {
-            Err(MemError::BitOutOfRange { bit: index, width: self.width })
+            Err(MemError::BitOutOfRange {
+                bit: index,
+                width: self.width,
+            })
         }
     }
 
@@ -135,7 +142,11 @@ impl DataWord {
     ///
     /// Panics if `index >= width`.
     pub fn set(&mut self, index: usize, value: bool) {
-        assert!(index < self.width, "bit index {index} out of range for width {}", self.width);
+        assert!(
+            index < self.width,
+            "bit index {index} out of range for width {}",
+            self.width
+        );
         let limb = &mut self.limbs[index / 64];
         let mask = 1u64 << (index % 64);
         if value {

@@ -1,0 +1,213 @@
+//! Dedicated coverage for the spare-word repair flow ([`BackupMemory`])
+//! and the retention-elapse semantics that make data-retention faults
+//! observable — the two substrate behaviours the diagnosis schemes rely
+//! on but only exercise indirectly.
+
+use sram_model::cell::CellCoord;
+use sram_model::{
+    Address, BackupMemory, CellFault, CellNode, DataWord, MemConfig, MemError, RetentionModel, Sram,
+};
+
+fn faulty_sram() -> (MemConfig, Sram) {
+    let config = MemConfig::new(8, 4).unwrap();
+    let mut sram = Sram::new(config);
+    sram.inject_cell_fault(CellCoord::new(Address::new(2), 1), CellFault::StuckAt(false))
+        .unwrap();
+    sram.inject_cell_fault(CellCoord::new(Address::new(5), 3), CellFault::StuckAt(true))
+        .unwrap();
+    (config, sram)
+}
+
+/// End-to-end repair flow: locate -> repair -> accesses through the
+/// repair map hide the defect, while unrepaired words still reach the
+/// (faulty) main array.
+#[test]
+fn repair_flow_hides_located_faults_from_the_access_path() {
+    let (config, mut sram) = faulty_sram();
+    let mut backup = BackupMemory::new(config, 4);
+
+    let outcome = backup.repair_all([Address::new(2), Address::new(5)]);
+    assert!(outcome.is_fully_repaired());
+    assert_eq!(backup.available(), 2);
+
+    let ones = DataWord::splat(true, 4);
+    let zeros = DataWord::zero(4);
+    for address in [Address::new(2), Address::new(5)] {
+        backup.write(&mut sram, address, &ones).unwrap();
+        assert_eq!(
+            backup.read(&mut sram, address).unwrap(),
+            ones,
+            "spare hides the fault"
+        );
+        backup.write(&mut sram, address, &zeros).unwrap();
+        assert_eq!(backup.read(&mut sram, address).unwrap(), zeros);
+    }
+
+    // An unrepaired address still shows the stuck-at-free behaviour of
+    // its good cells through the normal path.
+    backup.write(&mut sram, Address::new(0), &ones).unwrap();
+    assert_eq!(backup.read(&mut sram, Address::new(0)).unwrap(), ones);
+    // And the main array keeps misbehaving underneath the repaired word.
+    sram.write(Address::new(2), &ones).unwrap();
+    assert_ne!(
+        sram.read(Address::new(2)).unwrap(),
+        ones,
+        "bit 1 is stuck at 0 in the array"
+    );
+}
+
+/// The spare pool is a hard resource: exhaustion is reported per
+/// address, double repairs are rejected, and the outcome arithmetic
+/// (ratio, partial lists) stays consistent.
+#[test]
+fn spare_pool_exhaustion_and_double_repair_semantics() {
+    let config = MemConfig::new(16, 4).unwrap();
+    let mut backup = BackupMemory::new(config, 2);
+
+    assert!(backup.repair(Address::new(1)).is_ok());
+    assert_eq!(
+        backup.repair(Address::new(1)),
+        Err(MemError::AlreadyRepaired { address: 1 })
+    );
+    assert!(backup.repair(Address::new(4)).is_ok());
+    assert_eq!(
+        backup.repair(Address::new(9)),
+        Err(MemError::NoSpareAvailable { address: 9 })
+    );
+    assert_eq!(
+        backup.repaired_addresses(),
+        vec![Address::new(1), Address::new(4)]
+    );
+
+    // repair_all over a mix of duplicates and fresh addresses when the
+    // pool is exhausted: everything fresh is unrepaired.
+    let outcome = backup.repair_all([Address::new(1), Address::new(9), Address::new(12)]);
+    assert!(outcome.repaired.is_empty());
+    assert_eq!(outcome.unrepaired, vec![Address::new(9), Address::new(12)]);
+    assert_eq!(outcome.repair_ratio(), 0.0);
+    assert!(!outcome.is_fully_repaired());
+}
+
+/// Retention elapse is the *only* way a data-retention fault becomes
+/// visible without NWRC cycles: under the threshold nothing happens, at
+/// or above it the defective node's value decays, and good cells are
+/// never affected.
+#[test]
+fn retention_elapse_exposes_drf_cells_only_beyond_the_threshold() {
+    let config = MemConfig::new(4, 2).unwrap();
+    // Default retention model: 100 ms threshold.
+    let mut sram = Sram::new(config);
+    let drf_site = CellCoord::new(Address::new(1), 0);
+    sram.inject_cell_fault(drf_site, CellFault::DataRetention { node: CellNode::A })
+        .unwrap();
+
+    let ones = DataWord::splat(true, 2);
+    sram.write(Address::new(1), &ones).unwrap();
+    sram.write(Address::new(2), &ones).unwrap();
+
+    // A sub-threshold pause changes nothing.
+    sram.elapse_retention(99.0);
+    assert_eq!(sram.read(Address::new(1)).unwrap(), ones);
+
+    // Crossing the threshold flips the defective cell; pauses do not
+    // accumulate a second decay on the good neighbour bits.
+    sram.elapse_retention(100.0);
+    let decayed = sram.read(Address::new(1)).unwrap();
+    assert!(!decayed.bit(0), "node-A DRF loses the stored one");
+    assert!(decayed.bit(1), "the good bit keeps its value");
+    assert_eq!(
+        sram.read(Address::new(2)).unwrap(),
+        ones,
+        "fault-free words never decay"
+    );
+}
+
+/// A custom retention model moves the decay threshold: what a 100 ms
+/// pause exposes under the default model survives a model with a longer
+/// threshold.
+#[test]
+fn custom_retention_model_shifts_the_observability_threshold() {
+    let config = MemConfig::new(2, 1).unwrap();
+    let slow = RetentionModel::new(500.0, 100.0);
+    assert!(
+        !slow.pause_exposes_drf(),
+        "a 100 ms pause is too short for a 500 ms threshold"
+    );
+
+    let mut sram = Sram::with_retention(config, slow);
+    sram.inject_cell_fault(
+        CellCoord::new(Address::new(0), 0),
+        CellFault::DataRetention { node: CellNode::A },
+    )
+    .unwrap();
+    let one = DataWord::splat(true, 1);
+    sram.write(Address::new(0), &one).unwrap();
+
+    sram.elapse_retention(100.0);
+    assert_eq!(
+        sram.read(Address::new(0)).unwrap(),
+        one,
+        "below the custom threshold"
+    );
+    sram.elapse_retention(500.0);
+    assert!(
+        !sram.read(Address::new(0)).unwrap().bit(0),
+        "beyond the custom threshold"
+    );
+}
+
+/// Node-B retention faults decay the *zero* state, the dual of node A —
+/// both polarities must be modelled for the two NWRC passes to make
+/// sense.
+#[test]
+fn node_b_drf_decays_the_zero_state() {
+    let config = MemConfig::new(2, 1).unwrap();
+    let mut sram = Sram::new(config);
+    sram.inject_cell_fault(
+        CellCoord::new(Address::new(0), 0),
+        CellFault::DataRetention { node: CellNode::B },
+    )
+    .unwrap();
+
+    let zero = DataWord::zero(1);
+    sram.write(Address::new(0), &zero).unwrap();
+    sram.elapse_retention(200.0);
+    assert!(
+        sram.read(Address::new(0)).unwrap().bit(0),
+        "node-B DRF loses the stored zero"
+    );
+
+    // The one state is unaffected by a node-B fault.
+    let one = DataWord::splat(true, 1);
+    sram.write(Address::new(0), &one).unwrap();
+    sram.elapse_retention(200.0);
+    assert_eq!(sram.read(Address::new(0)).unwrap(), one);
+}
+
+/// The NWRC write (No Write Recovery Cycle) is the pause-free dual: a
+/// good cell accepts the write, a DRF cell fails to flip — immediately,
+/// with no elapse at all.
+#[test]
+fn nwrc_write_exposes_drf_cells_without_any_pause() {
+    let config = MemConfig::new(2, 2).unwrap();
+    let mut sram = Sram::new(config);
+    sram.inject_cell_fault(
+        CellCoord::new(Address::new(0), 0),
+        CellFault::DataRetention { node: CellNode::A },
+    )
+    .unwrap();
+
+    // Both bits start at zero; an NWRC write of ones succeeds only on
+    // the good cell.
+    sram.write(Address::new(0), &DataWord::zero(2)).unwrap();
+    sram.write_nwrc(Address::new(0), &DataWord::splat(true, 2))
+        .unwrap();
+    let observed = sram.read(Address::new(0)).unwrap();
+    assert!(!observed.bit(0), "the DRF cell cannot complete the NWRC write");
+    assert!(observed.bit(1), "the good cell can");
+
+    // A normal write still succeeds on the DRF cell (the defect only
+    // shows under weakened write conditions or after decay).
+    sram.write(Address::new(0), &DataWord::splat(true, 2)).unwrap();
+    assert_eq!(sram.read(Address::new(0)).unwrap(), DataWord::splat(true, 2));
+}
