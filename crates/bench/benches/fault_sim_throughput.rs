@@ -1,0 +1,189 @@
+//! P1: fault-simulation throughput — the packed bit-plane batched
+//! simulator against the pre-refactor architecture (dense per-cell
+//! `ReferenceSram`, fresh memory and full programme walk per fault).
+//!
+//! Two measurement points:
+//!
+//! * **S1 scaled population** (64 × 16, the geometry of the simulated
+//!   defect-rate sweep): both paths are measured and the speedup is
+//!   printed — the refactor's acceptance bar is ≥ 10×.
+//! * **Benchmark scale** (512 × 100, the paper's case-study geometry):
+//!   first-ever throughput numbers; the reference path is measured on a
+//!   reduced fault list to keep its (slow) runtime bounded.
+//!
+//! Both entries land in `BENCH_results.json` via the criterion
+//! stand-in, so the trajectory is tracked across commits.
+
+use bench::print_section;
+use criterion::{criterion_group, criterion_main, Criterion};
+use fault_models::FaultList;
+use march::{algorithms, AddressOrder, FaultSimulator, MarchOp, MarchSchedule};
+use sram_model::{Address, MemConfig, ReferenceSram};
+use std::hint::black_box;
+use std::time::Instant;
+use testutil::{stuck_at_population, SEEDS};
+
+/// S1 scaled-down geometry (as used by the simulated defect-rate sweep).
+fn s1_config() -> MemConfig {
+    MemConfig::new(64, 16).expect("valid geometry")
+}
+
+/// The paper's benchmark geometry.
+fn benchmark_config() -> MemConfig {
+    testutil::benchmark_geometry()
+}
+
+/// Batched simulation on the packed bit-plane array: one reusable
+/// memory, `reset` + inject per fault, schedule borrowed throughout.
+fn simulate_packed(sim: &FaultSimulator, schedule: &MarchSchedule, universe: &FaultList) -> usize {
+    sim.simulate_universe(schedule, universe)
+        .iter()
+        .filter(|outcome| outcome.detected)
+        .count()
+}
+
+/// The pre-refactor architecture, reproduced faithfully: dense per-cell
+/// model, a fresh memory per fault, and — as the seed March engine did —
+/// a `DataWord` pattern built bit by bit for every single operation.
+fn simulate_reference(config: MemConfig, schedule: &MarchSchedule, universe: &FaultList) -> usize {
+    let mut detected = 0usize;
+    for fault in universe.iter() {
+        let mut sram = ReferenceSram::new(config);
+        fault.inject_into(&mut sram).expect("fault fits the geometry");
+        if !run_schedule_unbatched(&mut sram, schedule) {
+            detected += 1;
+        }
+    }
+    detected
+}
+
+/// Seed-era March execution: no pattern cache, one fresh pattern word
+/// per operation. Returns `true` if the run passed (no mismatch).
+fn run_schedule_unbatched(sram: &mut ReferenceSram, schedule: &MarchSchedule) -> bool {
+    let config = sram.config();
+    let width = config.width();
+    let mut passed = true;
+    for phase in schedule.phases() {
+        let background = phase.background;
+        for element in phase.test.elements() {
+            for op in &element.ops {
+                if let MarchOp::Pause(ms) = op {
+                    sram.elapse_retention(f64::from(*ms));
+                }
+            }
+            let addresses: Vec<Address> = match element.order {
+                AddressOrder::Ascending | AddressOrder::Either => config.addresses().collect(),
+                AddressOrder::Descending => config.addresses_descending().collect(),
+            };
+            for address in addresses {
+                let row = address.index();
+                for op in &element.ops {
+                    match op {
+                        MarchOp::Pause(_) => {}
+                        MarchOp::Write(value) => {
+                            let data = background.pattern_for(*value, width, row);
+                            sram.write(address, &data).expect("programme fits");
+                        }
+                        MarchOp::NwrcWrite(value) => {
+                            let data = background.pattern_for(*value, width, row);
+                            sram.write_nwrc(address, &data).expect("programme fits");
+                        }
+                        MarchOp::Read(value) => {
+                            let expected = background.pattern_for(*value, width, row);
+                            let observed = sram.read(address).expect("programme fits");
+                            if !expected.mismatches(&observed).is_empty() {
+                                passed = false;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+    passed
+}
+
+/// Wall-clock of one run (median of three), for the printed table.
+fn time_ms(mut run: impl FnMut() -> usize) -> (usize, f64) {
+    let mut times = Vec::new();
+    let mut result = 0;
+    for _ in 0..3 {
+        let start = Instant::now();
+        result = black_box(run());
+        times.push(start.elapsed().as_secs_f64() * 1e3);
+    }
+    times.sort_by(f64::total_cmp);
+    (result, times[1])
+}
+
+fn print_throughput_table() {
+    print_section("P1: fault-simulation throughput, packed+batched vs dense per-cell reference");
+
+    let s1 = s1_config();
+    let s1_universe = stuck_at_population(s1, 64, SEEDS[0]);
+    let s1_schedule = algorithms::march_cw(s1.width());
+    let s1_sim = FaultSimulator::new(s1);
+    let (packed_detected, packed_ms) = time_ms(|| simulate_packed(&s1_sim, &s1_schedule, &s1_universe));
+    let (reference_detected, reference_ms) = time_ms(|| simulate_reference(s1, &s1_schedule, &s1_universe));
+    assert_eq!(
+        packed_detected, reference_detected,
+        "packed and reference simulations must agree on detections"
+    );
+    println!(
+        "S1 scaled population ({s1}, {} faults, March CW): packed {packed_ms:.2} ms, \
+         reference {reference_ms:.2} ms, speedup {:.1}x (target >= 10x)",
+        s1_universe.len(),
+        reference_ms / packed_ms
+    );
+
+    let bench = benchmark_config();
+    let bench_universe = stuck_at_population(bench, 64, SEEDS[1]);
+    let bench_schedule = algorithms::march_cw(bench.width());
+    let bench_sim = FaultSimulator::new(bench);
+    let (_, bench_packed_ms) = time_ms(|| simulate_packed(&bench_sim, &bench_schedule, &bench_universe));
+    println!(
+        "benchmark scale ({bench}, {} faults, March CW): packed {bench_packed_ms:.2} ms \
+         ({:.0} fault-programmes/s) — first throughput numbers at the paper's geometry",
+        bench_universe.len(),
+        bench_universe.len() as f64 / (bench_packed_ms / 1e3)
+    );
+}
+
+fn bench_throughput(c: &mut Criterion) {
+    print_throughput_table();
+
+    let mut group = c.benchmark_group("fault_sim_throughput");
+    group.sample_size(10);
+
+    let s1 = s1_config();
+    let s1_universe = stuck_at_population(s1, 64, SEEDS[0]);
+    let s1_schedule = algorithms::march_cw(s1.width());
+    let s1_sim = FaultSimulator::new(s1);
+    group.bench_function("s1_packed_batched", |b| {
+        b.iter(|| black_box(simulate_packed(&s1_sim, &s1_schedule, &s1_universe)))
+    });
+    group.bench_function("s1_reference_per_cell", |b| {
+        b.iter(|| black_box(simulate_reference(s1, &s1_schedule, &s1_universe)))
+    });
+
+    let bench_geometry = benchmark_config();
+    let bench_universe = stuck_at_population(bench_geometry, 64, SEEDS[1]);
+    let bench_schedule = algorithms::march_cw(bench_geometry.width());
+    let bench_sim = FaultSimulator::new(bench_geometry);
+    group.bench_function("benchmark_scale_packed_batched", |b| {
+        b.iter(|| black_box(simulate_packed(&bench_sim, &bench_schedule, &bench_universe)))
+    });
+    // The reference path at benchmark scale is measured on a reduced
+    // fault list: per-cell simulation of the full list would dominate
+    // the whole bench suite's runtime (which is the point of the
+    // refactor).
+    let reduced: FaultList = bench_universe.iter().copied().take(8).collect();
+    group.bench_function("benchmark_scale_reference_per_cell_8faults", |b| {
+        b.iter(|| black_box(simulate_reference(bench_geometry, &bench_schedule, &reduced)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

@@ -232,6 +232,20 @@ impl FastScheme {
         delivered
     }
 
+    /// Cycle cost of one March element over the population, computed in
+    /// closed form: every non-pause operation costs one cycle, and every
+    /// read additionally carries the PSC shift window sized for the
+    /// widest memory (the controller is designed for the widest e-SRAM,
+    /// Sec. 3.1).
+    ///
+    /// Cycle accounting is deliberately split from behavioural stepping:
+    /// the simulation loop below only moves data, so its cost no longer
+    /// contributes per-operation bookkeeping, and the accounting itself
+    /// is exact by construction (it is Eq. (2) factored per element).
+    fn element_cycles(element: &MarchElement, n_max: u64, c_max: usize) -> u64 {
+        n_max * (element.ops_per_address() as u64 + element.reads_per_address() as u64 * c_max as u64)
+    }
+
     /// Runs one March element over the whole population in lock step and
     /// returns the clock cycles it consumed (excluding pattern delivery).
     #[allow(clippy::too_many_arguments)]
@@ -249,11 +263,25 @@ impl FastScheme {
         delivered: &BTreeMap<bool, Vec<DataWord>>,
         c_max: usize,
     ) -> Result<u64, MemError> {
-        let mut cycles = 0u64;
         let addresses: Vec<Address> = match element.order {
             AddressOrder::Ascending | AddressOrder::Either => trigger.ascending().collect(),
             AddressOrder::Descending => trigger.descending().collect(),
         };
+
+        // The controller's expectation per write value and memory: the
+        // intended background bits for that memory. Precomputed once per
+        // element so the per-operation loop below is allocation-free
+        // (`clone_from` reuses each golden word's limb buffer).
+        let expected_by_value: BTreeMap<bool, Vec<DataWord>> = delivered
+            .keys()
+            .map(|&value| {
+                let per_memory = memories
+                    .iter()
+                    .map(|m| generator.pattern_for_width(background, value, m.config().width()))
+                    .collect();
+                (value, per_memory)
+            })
+            .collect();
 
         for global in addresses {
             for op in &element.ops {
@@ -270,14 +298,11 @@ impl FastScheme {
                             } else {
                                 memory.sram.write(local, data)?;
                             }
-                            // The controller's expectation: the intended
-                            // background bits for this memory (NWRC writes
-                            // succeed on good cells, so the expectation is
-                            // the same as for a normal write).
-                            golden[index][local.index() as usize] =
-                                generator.pattern_for_width(background, *value, config.width());
+                            // NWRC writes succeed on good cells, so the
+                            // expectation is the same as for a normal write.
+                            golden[index][local.index() as usize]
+                                .clone_from(&expected_by_value[value][index]);
                         }
-                        cycles += 1;
                     }
                     MarchOp::Read(_) => {
                         for (index, memory) in memories.iter_mut().enumerate() {
@@ -288,19 +313,15 @@ impl FastScheme {
                             // back to the controller while the memory idles.
                             let (bits, _) = pscs[index].serialize(&observed);
                             let received = ParallelToSerialConverter::word_from_serial(&bits);
-                            let expected = golden[index][local.index() as usize].clone();
-                            comparator.compare(memory.id, local, background, label, &expected, &received);
+                            let expected = &golden[index][local.index() as usize];
+                            comparator.compare(memory.id, local, background, label, expected, &received);
                         }
-                        // One read cycle plus a shift window sized for the
-                        // widest memory (the controller is designed for the
-                        // widest e-SRAM, Sec. 3.1).
-                        cycles += 1 + c_max as u64;
                     }
-                    _ => cycles += 1,
+                    _ => {}
                 }
             }
         }
-        Ok(cycles)
+        Ok(FastScheme::element_cycles(element, trigger.max_words(), c_max))
     }
 }
 

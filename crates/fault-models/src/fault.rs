@@ -1,7 +1,7 @@
 //! Fault classes and the unified memory-fault type.
 
 use sram_model::cell::CellCoord;
-use sram_model::{CellFault, CellNode, CouplingKind, DecoderFault, MemError, Sram};
+use sram_model::{CellFault, CellNode, CouplingKind, DecoderFault, FaultTarget, MemError};
 use std::fmt;
 
 /// High-level fault classes used in the paper's evaluation.
@@ -135,15 +135,16 @@ impl MemoryFault {
         self.class() == FaultClass::DataRetention
     }
 
-    /// Injects this fault into a memory.
+    /// Injects this fault into a memory (any [`FaultTarget`], i.e. the
+    /// packed [`Sram`] or the dense reference model).
     ///
     /// # Errors
     ///
     /// Propagates address/width validation errors from the memory model.
-    pub fn inject_into(&self, sram: &mut Sram) -> Result<(), MemError> {
+    pub fn inject_into<T: FaultTarget>(&self, target: &mut T) -> Result<(), MemError> {
         match self {
-            MemoryFault::Cell { coord, fault } => sram.inject_cell_fault(*coord, *fault),
-            MemoryFault::Decoder(fault) => sram.inject_decoder_fault(*fault),
+            MemoryFault::Cell { coord, fault } => target.inject_cell_fault(*coord, *fault),
+            MemoryFault::Decoder(fault) => target.inject_decoder_fault(*fault),
         }
     }
 
@@ -247,7 +248,7 @@ impl MemoryFault {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use sram_model::{Address, DataWord, MemConfig};
+    use sram_model::{Address, DataWord, MemConfig, Sram};
 
     fn coord(addr: u64, bit: usize) -> CellCoord {
         CellCoord::new(Address::new(addr), bit)

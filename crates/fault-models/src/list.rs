@@ -2,7 +2,7 @@
 //! statistics.
 
 use crate::fault::{FaultClass, MemoryFault};
-use sram_model::{MemError, Sram};
+use sram_model::{FaultTarget, MemError};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -82,14 +82,14 @@ impl FaultList {
         }
     }
 
-    /// Injects every fault into `sram`.
+    /// Injects every fault into a memory (any [`FaultTarget`]).
     ///
     /// # Errors
     ///
     /// Propagates injection errors from the memory model.
-    pub fn inject_into(&self, sram: &mut Sram) -> Result<(), MemError> {
+    pub fn inject_into<T: FaultTarget>(&self, target: &mut T) -> Result<(), MemError> {
         for fault in &self.faults {
-            fault.inject_into(sram)?;
+            fault.inject_into(target)?;
         }
         Ok(())
     }
@@ -151,7 +151,7 @@ impl fmt::Display for FaultList {
 mod tests {
     use super::*;
     use sram_model::cell::CellCoord;
-    use sram_model::{Address, DataWord, MemConfig};
+    use sram_model::{Address, DataWord, MemConfig, Sram};
 
     fn coord(addr: u64, bit: usize) -> CellCoord {
         CellCoord::new(Address::new(addr), bit)

@@ -71,6 +71,44 @@ impl DataBackground {
         let count = log2_ceil(width).max(1);
         (0..count).map(DataBackground::Binary).collect()
     }
+
+    /// Precomputes the four patterns this background can produce for a
+    /// given width, so hot simulation loops can borrow them instead of
+    /// rebuilding a [`DataWord`] bit by bit on every operation.
+    ///
+    /// Every background modelled by this crate depends on the row only
+    /// through its parity (checkerboard and row-stripe alternate per
+    /// row; solid, column-stripe and binary backgrounds are
+    /// row-independent), so `(value, row & 1)` fully indexes the
+    /// pattern. A future row-dependent background must extend
+    /// [`BackgroundPatterns`] accordingly.
+    pub fn patterns(&self, width: usize) -> BackgroundPatterns {
+        BackgroundPatterns {
+            patterns: [
+                [
+                    self.pattern_for(false, width, 0),
+                    self.pattern_for(false, width, 1),
+                ],
+                [self.pattern_for(true, width, 0), self.pattern_for(true, width, 1)],
+            ],
+        }
+    }
+}
+
+/// The patterns of one [`DataBackground`] at one width, precomputed per
+/// logical value and row parity (see [`DataBackground::patterns`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackgroundPatterns {
+    /// `patterns[value][row & 1]`.
+    patterns: [[DataWord; 2]; 2],
+}
+
+impl BackgroundPatterns {
+    /// The pattern a March operation of logical value `value` uses at
+    /// `row` (borrow — no allocation).
+    pub fn word(&self, value: bool, row: u64) -> &DataWord {
+        &self.patterns[usize::from(value)][(row & 1) as usize]
+    }
 }
 
 impl fmt::Display for DataBackground {
@@ -165,6 +203,32 @@ mod tests {
     fn benchmark_width_needs_seven_backgrounds() {
         // c = 100 -> ceil(log2 100) = 7, the factor in Eq. (2).
         assert_eq!(DataBackground::march_cw_set(100).len(), 7);
+    }
+
+    #[test]
+    fn precomputed_patterns_agree_with_pattern_for_on_every_background() {
+        let backgrounds = [
+            DataBackground::Solid,
+            DataBackground::Checkerboard,
+            DataBackground::ColumnStripe,
+            DataBackground::RowStripe,
+            DataBackground::Binary(0),
+            DataBackground::Binary(2),
+        ];
+        for background in backgrounds {
+            for width in [1usize, 4, 65, 100] {
+                let cache = background.patterns(width);
+                for row in 0..6u64 {
+                    for value in [false, true] {
+                        assert_eq!(
+                            cache.word(value, row),
+                            &background.pattern_for(value, width, row),
+                            "{background} width {width} row {row} value {value}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::background::DataBackground;
 use crate::ops::{AddressOrder, MarchOp, MarchTest};
 use crate::schedule::MarchSchedule;
-use sram_model::{Address, DataWord, MemError, Sram};
+use sram_model::{Address, DataWord, MemError, MemoryPort};
 
 /// One observed read mismatch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -101,13 +101,17 @@ impl MarchRunner {
     /// Retention pauses inside an element are applied once per element
     /// (before its address sweep), matching the classical `del` notation.
     ///
+    /// The memory may be any [`MemoryPort`] — the packed `Sram` or the
+    /// dense reference model — which is how the dense-vs-overlay
+    /// equivalence tests drive both with identical programmes.
+    ///
     /// # Errors
     ///
     /// Propagates memory-model validation errors, which cannot occur when
     /// the test is run against a memory of the geometry it was built for.
-    pub fn run_test(
+    pub fn run_test<M: MemoryPort>(
         &self,
-        sram: &mut Sram,
+        sram: &mut M,
         test: &MarchTest,
         background: DataBackground,
     ) -> Result<RunOutcome, MemError> {
@@ -119,7 +123,11 @@ impl MarchRunner {
     /// # Errors
     ///
     /// Propagates memory-model validation errors.
-    pub fn run_schedule(&self, sram: &mut Sram, schedule: &MarchSchedule) -> Result<RunOutcome, MemError> {
+    pub fn run_schedule<M: MemoryPort>(
+        &self,
+        sram: &mut M,
+        schedule: &MarchSchedule,
+    ) -> Result<RunOutcome, MemError> {
         let mut outcome = RunOutcome {
             failures: Vec::new(),
             operations: 0,
@@ -132,15 +140,18 @@ impl MarchRunner {
         Ok(outcome)
     }
 
-    fn run_test_phase(
+    fn run_test_phase<M: MemoryPort>(
         &self,
-        sram: &mut Sram,
+        sram: &mut M,
         test: &MarchTest,
         background: DataBackground,
         phase: usize,
     ) -> Result<RunOutcome, MemError> {
         let config = sram.config();
         let width = config.width();
+        // Patterns depend only on (value, row parity); precompute them
+        // once so the per-operation loop is allocation-free.
+        let patterns = background.patterns(width);
         let mut failures = Vec::new();
         let mut operations: u64 = 0;
         let mut pause_ms = 0.0;
@@ -165,29 +176,25 @@ impl MarchRunner {
                     match op {
                         MarchOp::Pause(_) => {}
                         MarchOp::Write(value) => {
-                            let data = background.pattern_for(*value, width, row);
-                            sram.write(address, &data)?;
+                            sram.write(address, patterns.word(*value, row))?;
                             operations += 1;
                         }
                         MarchOp::NwrcWrite(value) => {
-                            let data = background.pattern_for(*value, width, row);
-                            sram.write_nwrc(address, &data)?;
+                            sram.write_nwrc(address, patterns.word(*value, row))?;
                             operations += 1;
                         }
                         MarchOp::Read(value) => {
-                            let expected = background.pattern_for(*value, width, row);
-                            let observed = sram.read(address)?;
+                            let expected = patterns.word(*value, row);
                             operations += 1;
-                            let failing_bits = expected.mismatches(&observed);
-                            if !failing_bits.is_empty() {
+                            if let Some(observed) = sram.read_expect(address, expected)? {
                                 failures.push(FailureRecord {
                                     phase,
                                     element: element_index,
                                     op: op_index,
                                     address,
-                                    expected,
+                                    failing_bits: expected.mismatches(&observed),
+                                    expected: expected.clone(),
                                     observed,
-                                    failing_bits,
                                     background,
                                 });
                             }
@@ -211,7 +218,7 @@ mod tests {
     use crate::algorithms;
     use fault_models::MemoryFault;
     use sram_model::cell::CellCoord;
-    use sram_model::MemConfig;
+    use sram_model::{MemConfig, Sram};
 
     fn memory() -> Sram {
         Sram::new(MemConfig::new(16, 4).unwrap())

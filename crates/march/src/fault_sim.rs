@@ -1,20 +1,26 @@
 //! RAMSES-style serial fault simulation of March programmes.
 //!
-//! For every fault instance of a universe the simulator builds a fresh
-//! memory, injects the single fault, runs the March programme and
-//! classifies the outcome: *detected* (any read mismatch), and *located*
-//! (the failing sites include the faulty cell — or the faulty address
-//! for decoder faults — which is what a diagnosis scheme needs in order
-//! to drive repair). This reproduces the coverage argument of the
-//! paper's Sec. 4.1: March CW matches the baseline's coverage on the
-//! classical fault classes, and only the NWRTM-merged variant reaches
+//! For every fault instance of a universe the simulator injects the
+//! single fault into a memory, runs the March programme and classifies
+//! the outcome: *detected* (any read mismatch), and *located* (the
+//! failing sites include the faulty cell — or the faulty address for
+//! decoder faults — which is what a diagnosis scheme needs in order to
+//! drive repair). This reproduces the coverage argument of the paper's
+//! Sec. 4.1: March CW matches the baseline's coverage on the classical
+//! fault classes, and only the NWRTM-merged variant reaches
 //! data-retention faults.
+//!
+//! Whole-universe simulation is *batched*: one reusable packed memory
+//! is `reset` and re-injected per fault ([`FaultSimulator::simulate_universe`]),
+//! and the schedule is built once per call and borrowed per fault —
+//! there is no per-fault `Sram` construction or March-programme clone
+//! left on the hot path.
 
 use crate::background::DataBackground;
 use crate::coverage::CoverageReport;
 use crate::engine::{MarchRunner, RunOutcome};
 use crate::ops::MarchTest;
-use crate::schedule::MarchSchedule;
+use crate::schedule::{MarchSchedule, SchedulePhase};
 use fault_models::{FaultList, MemoryFault};
 use sram_model::{MemConfig, Sram};
 
@@ -49,6 +55,10 @@ impl FaultSimulator {
     }
 
     /// Simulates one fault against a single-background March test.
+    ///
+    /// One-off convenience; batch work should go through
+    /// [`FaultSimulator::simulate_universe`], which builds the schedule
+    /// once and reuses one memory across the whole fault list.
     pub fn simulate_fault(
         &self,
         test: &MarchTest,
@@ -62,11 +72,24 @@ impl FaultSimulator {
     /// Simulates one fault against a multi-background schedule.
     pub fn simulate_fault_schedule(&self, schedule: &MarchSchedule, fault: &MemoryFault) -> FaultSimOutcome {
         let mut sram = Sram::new(self.config);
+        self.simulate_fault_batched(&mut sram, schedule, fault)
+    }
+
+    /// Simulates one fault on a reusable memory: resets it to the
+    /// pristine background, injects the fault and runs the borrowed
+    /// schedule. The hot inner step of every batched entry point.
+    fn simulate_fault_batched(
+        &self,
+        sram: &mut Sram,
+        schedule: &MarchSchedule,
+        fault: &MemoryFault,
+    ) -> FaultSimOutcome {
+        sram.reset();
         fault
-            .inject_into(&mut sram)
+            .inject_into(sram)
             .expect("fault universe must match the simulator geometry");
         let run = MarchRunner::new()
-            .run_schedule(&mut sram, schedule)
+            .run_schedule(sram, schedule)
             .expect("march programme must match the simulator geometry");
         let detected = !run.passed();
         let located = detected && self.locates(fault, &run);
@@ -76,6 +99,18 @@ impl FaultSimulator {
             located,
             run,
         }
+    }
+
+    /// Simulates every fault of a universe against a schedule, one fault
+    /// at a time, reusing a single packed memory (`reset` + inject per
+    /// fault instead of a fresh `Sram` per fault). Outcomes are returned
+    /// in universe order.
+    pub fn simulate_universe(&self, schedule: &MarchSchedule, universe: &FaultList) -> Vec<FaultSimOutcome> {
+        let mut sram = Sram::new(self.config);
+        universe
+            .iter()
+            .map(|fault| self.simulate_fault_batched(&mut sram, schedule, fault))
+            .collect()
     }
 
     fn locates(&self, fault: &MemoryFault, run: &RunOutcome) -> bool {
@@ -90,6 +125,9 @@ impl FaultSimulator {
 
     /// Coverage of a single-background March test over a fault universe,
     /// simulating one fault at a time.
+    ///
+    /// The multi-background schedule is built once per call; each fault
+    /// borrows it.
     pub fn coverage(
         &self,
         test: &MarchTest,
@@ -97,20 +135,20 @@ impl FaultSimulator {
         backgrounds: &[DataBackground],
     ) -> CoverageReport {
         let background = backgrounds.first().copied().unwrap_or_default();
-        let mut phases = vec![crate::schedule::SchedulePhase::new(background, test.clone())];
+        let mut phases = vec![SchedulePhase::new(background, test.clone())];
         for extra in backgrounds.iter().skip(1) {
-            phases.push(crate::schedule::SchedulePhase::new(*extra, test.clone()));
+            phases.push(SchedulePhase::new(*extra, test.clone()));
         }
         let schedule = MarchSchedule::new(test.name(), phases);
         self.coverage_schedule(&schedule, universe)
     }
 
-    /// Coverage of a multi-background schedule over a fault universe.
+    /// Coverage of a multi-background schedule over a fault universe
+    /// (batched over one reusable memory).
     pub fn coverage_schedule(&self, schedule: &MarchSchedule, universe: &FaultList) -> CoverageReport {
         let mut report = CoverageReport::new(schedule.name());
-        for fault in universe.iter() {
-            let outcome = self.simulate_fault_schedule(schedule, fault);
-            report.record(fault.class(), outcome.detected, outcome.located);
+        for outcome in self.simulate_universe(schedule, universe) {
+            report.record(outcome.fault.class(), outcome.detected, outcome.located);
         }
         report
     }
@@ -225,6 +263,21 @@ mod tests {
         );
         let merged = sim.coverage(&nwrtm, &baseline_universe, &[DataBackground::Solid]);
         assert!(merged.detection_coverage() >= base.detection_coverage());
+    }
+
+    #[test]
+    fn batched_universe_simulation_matches_per_fault_fresh_memories() {
+        // The reusable-memory batched path must be observationally
+        // identical to building a fresh memory per fault.
+        let sim = FaultSimulator::new(config());
+        let universe = universe().date2005_baseline();
+        let schedule = algorithms::march_cw(4);
+        let batched = sim.simulate_universe(&schedule, &universe);
+        assert_eq!(batched.len(), universe.len());
+        for (fault, outcome) in universe.iter().zip(&batched) {
+            let fresh = sim.simulate_fault_schedule(&schedule, fault);
+            assert_eq!(&fresh, outcome, "batched outcome diverged for {fault}");
+        }
     }
 
     #[test]

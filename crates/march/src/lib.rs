@@ -53,7 +53,7 @@ pub mod fault_sim;
 pub mod ops;
 pub mod schedule;
 
-pub use background::DataBackground;
+pub use background::{BackgroundPatterns, DataBackground};
 pub use coverage::{ClassCoverage, CoverageReport};
 pub use engine::{FailureRecord, MarchRunner, RunOutcome};
 pub use fault_sim::{FaultSimOutcome, FaultSimulator};

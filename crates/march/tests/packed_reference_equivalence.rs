@@ -1,0 +1,223 @@
+//! Dense-vs-overlay equivalence: the packed bit-plane [`Sram`] and the
+//! dense per-cell [`ReferenceSram`] must observe *identical read
+//! sequences* under identical fault injections and March programmes.
+//!
+//! This is the safety net of the storage-core refactor: the packed
+//! array routes fault-free cells through limb copies and only faulty
+//! cells through the behavioural state machine, and these properties
+//! assert that the split is observationally invisible — over random
+//! geometries (crossing the 64-bit limb boundary and the inline/heap
+//! word threshold), random fault populations of every modelled class
+//! (including intra-word coupling and decoder faults) and every March
+//! programme in the library.
+
+use fault_models::MemoryFault;
+use march::{algorithms, DataBackground, MarchRunner, MarchSchedule, MarchTest};
+use proptest::prelude::*;
+use sram_model::cell::CellCoord;
+use sram_model::{
+    Address, CellFault, DataWord, DecoderFault, DecoderFaultKind, MemConfig, MemoryPort, ReferenceSram, Sram,
+};
+use testutil::FixtureRng;
+
+/// Draws a random fault of any modelled class at a random site.
+fn random_fault(rng: &mut FixtureRng, config: MemConfig) -> MemoryFault {
+    let coord = CellCoord::new(
+        Address::new(rng.below(config.words())),
+        rng.below(config.width() as u64) as usize,
+    );
+    match rng.below(12) {
+        0 => MemoryFault::stuck_at_0(coord),
+        1 => MemoryFault::stuck_at_1(coord),
+        2 => MemoryFault::transition_up(coord),
+        3 => MemoryFault::transition_down(coord),
+        4 => MemoryFault::data_retention_a(coord),
+        5 => MemoryFault::data_retention_b(coord),
+        6 => MemoryFault::cell(coord, CellFault::ReadDestructive),
+        7 => MemoryFault::cell(coord, CellFault::DeceptiveReadDestructive),
+        8 => MemoryFault::cell(coord, CellFault::StuckOpen),
+        9 => {
+            // Coupling with a random (possibly intra-word) aggressor.
+            let aggressor = CellCoord::new(
+                Address::new(rng.below(config.words())),
+                rng.below(config.width() as u64) as usize,
+            );
+            match rng.below(3) {
+                0 => MemoryFault::coupling_idempotent(coord, aggressor, rng_bool(rng), rng_bool(rng)),
+                1 => MemoryFault::coupling_inversion(coord, aggressor, rng_bool(rng)),
+                _ => MemoryFault::coupling_state(coord, aggressor, rng_bool(rng), rng_bool(rng)),
+            }
+        }
+        10 => MemoryFault::decoder(DecoderFault::new(coord.address, DecoderFaultKind::NoAccess)),
+        _ => {
+            let target = Address::new(rng.below(config.words()));
+            let kind = if rng_bool(rng) {
+                DecoderFaultKind::MapsTo(target)
+            } else {
+                DecoderFaultKind::AlsoAccesses(target)
+            };
+            MemoryFault::decoder(DecoderFault::new(coord.address, kind))
+        }
+    }
+}
+
+fn rng_bool(rng: &mut FixtureRng) -> bool {
+    rng.next_u64() & 1 == 1
+}
+
+fn programme(which: usize, width: usize) -> MarchSchedule {
+    match which % 5 {
+        0 => MarchSchedule::single(algorithms::mats_plus(), DataBackground::Solid),
+        1 => MarchSchedule::single(algorithms::march_c_minus(), DataBackground::Checkerboard),
+        2 => algorithms::march_cw(width),
+        3 => MarchSchedule::single(
+            algorithms::with_nwrtm(&algorithms::march_c_minus()),
+            DataBackground::ColumnStripe,
+        ),
+        _ => MarchSchedule::single(
+            algorithms::with_retention_pauses(&algorithms::march_c_minus(), 100),
+            DataBackground::Solid,
+        ),
+    }
+}
+
+/// Builds the two models with the same faults injected.
+fn build_pair(config: MemConfig, faults: &[MemoryFault]) -> (Sram, ReferenceSram) {
+    let mut packed = Sram::new(config);
+    let mut dense = ReferenceSram::new(config);
+    for fault in faults {
+        fault.inject_into(&mut packed).expect("fault fits");
+        fault.inject_into(&mut dense).expect("fault fits");
+    }
+    (packed, dense)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The packed array and the dense reference observe identical read
+    /// sequences (and end in identical states) for every March
+    /// programme over random fault populations.
+    #[test]
+    fn march_programmes_observe_identical_read_sequences(
+        words in 2u64..24,
+        width in 1usize..140,
+        fault_count in 0usize..6,
+        which in 0usize..5,
+        seed in any::<u64>(),
+    ) {
+        let config = MemConfig::new(words, width).unwrap();
+        let mut rng = FixtureRng::new(seed);
+        let faults: Vec<MemoryFault> = (0..fault_count).map(|_| random_fault(&mut rng, config)).collect();
+        let (mut packed, mut dense) = build_pair(config, &faults);
+
+        let schedule = programme(which, width);
+        let runner = MarchRunner::new();
+        let packed_run = runner.run_schedule(&mut packed, &schedule).unwrap();
+        let dense_run = runner.run_schedule(&mut dense, &schedule).unwrap();
+
+        // Identical read sequences: every mismatch record (address,
+        // expected, observed, failing bits, ordering) agrees.
+        prop_assert_eq!(&packed_run, &dense_run);
+
+        // And the final stored contents agree word by word.
+        for address in config.addresses() {
+            prop_assert_eq!(
+                packed.peek(address).unwrap(),
+                dense.peek(address).unwrap(),
+                "stored contents diverge at {} (faults: {:?})", address, faults
+            );
+        }
+    }
+
+    /// A raw random port-operation sequence (writes, NWRC writes, reads,
+    /// retention pauses) observes the same values on both models.
+    #[test]
+    fn random_port_sequences_observe_identical_values(
+        words in 1u64..16,
+        width in 1usize..70,
+        fault_count in 0usize..5,
+        op_count in 1usize..120,
+        seed in any::<u64>(),
+    ) {
+        let config = MemConfig::new(words, width).unwrap();
+        let mut rng = FixtureRng::new(seed);
+        let faults: Vec<MemoryFault> = (0..fault_count).map(|_| random_fault(&mut rng, config)).collect();
+        let (mut packed, mut dense) = build_pair(config, &faults);
+
+        for _ in 0..op_count {
+            let address = Address::new(rng.below(words));
+            match rng.below(4) {
+                0 | 1 => {
+                    let mut data = DataWord::zero(width);
+                    for bit in 0..width {
+                        data.set(bit, rng.next_u64() & 1 == 1);
+                    }
+                    if rng.next_u64() & 1 == 0 {
+                        MemoryPort::write(&mut packed, address, &data).unwrap();
+                        MemoryPort::write(&mut dense, address, &data).unwrap();
+                    } else {
+                        MemoryPort::write_nwrc(&mut packed, address, &data).unwrap();
+                        MemoryPort::write_nwrc(&mut dense, address, &data).unwrap();
+                    }
+                }
+                2 => {
+                    let from_packed = MemoryPort::read(&mut packed, address).unwrap();
+                    let from_dense = MemoryPort::read(&mut dense, address).unwrap();
+                    prop_assert_eq!(from_packed, from_dense, "read diverges at {}", address);
+                }
+                _ => {
+                    let pause = [10.0f64, 100.0, 250.0][rng.below(3) as usize];
+                    MemoryPort::elapse_retention(&mut packed, pause);
+                    MemoryPort::elapse_retention(&mut dense, pause);
+                }
+            }
+        }
+
+        for address in config.addresses() {
+            prop_assert_eq!(
+                packed.peek(address).unwrap(),
+                dense.peek(address).unwrap(),
+                "stored contents diverge at {}", address
+            );
+        }
+    }
+
+    /// The fused `read_expect` port operation agrees with a plain read
+    /// followed by a compare, on both models.
+    #[test]
+    fn read_expect_matches_read_plus_compare(
+        words in 1u64..12,
+        width in 1usize..70,
+        fault_count in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let config = MemConfig::new(words, width).unwrap();
+        let mut rng = FixtureRng::new(seed);
+        let faults: Vec<MemoryFault> = (0..fault_count).map(|_| random_fault(&mut rng, config)).collect();
+        let (mut packed, mut dense) = build_pair(config, &faults);
+
+        let test: MarchTest = algorithms::march_c_minus();
+        let runner = MarchRunner::new();
+        // Drive both through a programme first so states are interesting.
+        runner.run_test(&mut packed, &test, DataBackground::Solid).unwrap();
+        runner.run_test(&mut dense, &test, DataBackground::Solid).unwrap();
+
+        for address in config.addresses() {
+            let expected = DataWord::splat(rng.next_u64() & 1 == 1, width);
+            // Clone so the compared read sees the same pre-read state as
+            // the plain read (read side effects may mutate cells).
+            let mut packed_probe = packed.clone();
+            let observed = MemoryPort::read(&mut packed_probe, address).unwrap();
+            let via_expect = packed.read_expect(address, &expected).unwrap();
+            let via_dense = MemoryPort::read_expect(&mut dense, address, &expected).unwrap();
+            if observed == expected {
+                prop_assert_eq!(via_expect, None);
+                prop_assert_eq!(via_dense, None);
+            } else {
+                prop_assert_eq!(via_expect, Some(observed.clone()));
+                prop_assert_eq!(via_dense, Some(observed));
+            }
+        }
+    }
+}

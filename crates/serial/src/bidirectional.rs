@@ -91,6 +91,9 @@ impl BidirectionalSerialInterface {
         let config = sram.config();
         let width = config.width();
         debug_assert_eq!(width, self.width);
+        // Patterns depend only on (value, row parity): precompute once
+        // so the bit-serial walk stays allocation-free per operation.
+        let patterns = background.patterns(width);
         let addresses: Vec<Address> = match element.order {
             march::AddressOrder::Ascending | march::AddressOrder::Either => config.addresses().collect(),
             march::AddressOrder::Descending => config.addresses_descending().collect(),
@@ -108,17 +111,15 @@ impl BidirectionalSerialInterface {
                         sram.elapse_retention(f64::from(*ms));
                     }
                     MarchOp::Write(value) => {
-                        let data = background.pattern_for(*value, width, row);
-                        sram.write(address, &data)?;
+                        sram.write(address, patterns.word(*value, row))?;
                         cycles += width as u64;
                     }
                     MarchOp::NwrcWrite(value) => {
-                        let data = background.pattern_for(*value, width, row);
-                        sram.write_nwrc(address, &data)?;
+                        sram.write_nwrc(address, patterns.word(*value, row))?;
                         cycles += width as u64;
                     }
                     MarchOp::Read(value) => {
-                        let expected = background.pattern_for(*value, width, row);
+                        let expected = patterns.word(*value, row);
                         let observed = sram.read(address)?;
                         cycles += width as u64;
                         let mut failing = expected.mismatches(&observed);

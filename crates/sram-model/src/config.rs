@@ -46,6 +46,7 @@ impl Address {
     }
 
     /// Returns the raw word index.
+    #[inline]
     pub fn index(self) -> u64 {
         self.0
     }
@@ -111,11 +112,13 @@ impl MemConfig {
     }
 
     /// Number of words.
+    #[inline]
     pub fn words(&self) -> u64 {
         self.words
     }
 
     /// IO width in bits.
+    #[inline]
     pub fn width(&self) -> usize {
         self.width
     }
@@ -135,6 +138,7 @@ impl MemConfig {
     }
 
     /// Returns `true` if `address` is inside this memory.
+    #[inline]
     pub fn contains(&self, address: Address) -> bool {
         address.0 < self.words
     }
@@ -145,6 +149,7 @@ impl MemConfig {
     ///
     /// Returns [`MemError::AddressOutOfRange`] if the address is outside
     /// the memory.
+    #[inline]
     pub fn check_address(&self, address: Address) -> Result<(), MemError> {
         if self.contains(address) {
             Ok(())
@@ -162,6 +167,7 @@ impl MemConfig {
     ///
     /// Returns [`MemError::WidthMismatch`] if `width` differs from the
     /// memory IO width.
+    #[inline]
     pub fn check_width(&self, width: usize) -> Result<(), MemError> {
         if width == self.width {
             Ok(())

@@ -127,6 +127,7 @@ impl AddressDecoder {
     }
 
     /// True if any decoder fault is injected.
+    #[inline]
     pub fn is_faulty(&self) -> bool {
         !self.faults.is_empty()
     }

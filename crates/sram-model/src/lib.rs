@@ -5,9 +5,17 @@
 //! (Wang, Wu, Ivanov — DATE 2005). It models a small embedded SRAM
 //! (e-SRAM) at the level of observable port behaviour:
 //!
-//! * a word-organised cell array with per-cell defect semantics
-//!   ([`cell::CellFault`]) covering stuck-at, transition, coupling,
-//!   bridging and **data-retention** (open pull-up PMOS) faults;
+//! * a word-organised cell array stored as packed bit planes
+//!   ([`planes::BitPlanes`]: `u64` limbs, one run per word) with a
+//!   sparse overlay of behavioural cells for the faulty sites, so
+//!   fault-free word accesses are limb copies — with per-cell defect
+//!   semantics ([`cell::CellFault`]) covering stuck-at, transition,
+//!   coupling, bridging and **data-retention** (open pull-up PMOS)
+//!   faults;
+//! * the pre-refactor dense per-cell model
+//!   ([`reference::ReferenceSram`]) kept as a differential-testing
+//!   oracle and benchmarking baseline, behind the same
+//!   [`port::MemoryPort`]/[`port::FaultTarget`] abstractions;
 //! * an address decoder with the classical address-decoder fault classes;
 //! * port operations (read, write, no-op and the *No Write Recovery
 //!   Cycle* of the NWRTM DFT technique) with an operation trace and
@@ -44,6 +52,9 @@ pub mod cell;
 pub mod config;
 pub mod decoder;
 pub mod error;
+pub mod planes;
+pub mod port;
+pub mod reference;
 pub mod retention;
 pub mod trace;
 pub mod word;
@@ -54,6 +65,9 @@ pub use cell::{Cell, CellFault, CellNode, CouplingKind};
 pub use config::{Address, MemConfig, MemoryId};
 pub use decoder::{DecoderFault, DecoderFaultKind};
 pub use error::MemError;
+pub use planes::BitPlanes;
+pub use port::{FaultTarget, MemoryPort};
+pub use reference::ReferenceSram;
 pub use retention::RetentionModel;
 pub use trace::{MemOp, OpKind, OperationTrace};
 pub use word::DataWord;

@@ -1,0 +1,192 @@
+//! Abstractions over memory implementations.
+//!
+//! The March engine and the fault-injection layer only need a small
+//! behavioural surface; abstracting it lets the same programmes drive
+//! both the packed [`Sram`](crate::array::Sram) and the dense
+//! [`ReferenceSram`](crate::reference::ReferenceSram), which is how the
+//! dense-vs-overlay equivalence property tests and the before/after
+//! throughput benches are built.
+
+use crate::array::Sram;
+use crate::cell::{CellCoord, CellFault};
+use crate::config::{Address, MemConfig};
+use crate::decoder::DecoderFault;
+use crate::error::MemError;
+use crate::reference::ReferenceSram;
+use crate::word::DataWord;
+
+/// The port surface a March programme needs from a memory.
+pub trait MemoryPort {
+    /// Geometry of the memory.
+    fn config(&self) -> MemConfig;
+
+    /// Normal write cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address is out of range or the data width
+    /// does not match the memory IO width.
+    fn write(&mut self, address: Address, data: &DataWord) -> Result<(), MemError>;
+
+    /// No Write Recovery Cycle write.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address is out of range or the data width
+    /// does not match the memory IO width.
+    fn write_nwrc(&mut self, address: Address, data: &DataWord) -> Result<(), MemError>;
+
+    /// Normal read cycle; returns the word observed at the port.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address is out of range.
+    fn read(&mut self, address: Address) -> Result<DataWord, MemError>;
+
+    /// Fused read-and-compare: a normal read whose result is checked
+    /// against `expected`, returning the observed word only on a
+    /// mismatch. Implementations may avoid materialising the observed
+    /// word when it matches (the packed array compares limbs in place).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the address is out of range.
+    fn read_expect(&mut self, address: Address, expected: &DataWord) -> Result<Option<DataWord>, MemError> {
+        let observed = self.read(address)?;
+        Ok(if &observed == expected {
+            None
+        } else {
+            Some(observed)
+        })
+    }
+
+    /// Retention pause of `pause_ms` milliseconds.
+    fn elapse_retention(&mut self, pause_ms: f64);
+}
+
+/// The injection surface faults need from a memory.
+pub trait FaultTarget {
+    /// Injects a behavioural fault into one bit cell.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the coordinate (or an aggressor coordinate)
+    /// is outside the memory.
+    fn inject_cell_fault(&mut self, coord: CellCoord, fault: CellFault) -> Result<(), MemError>;
+
+    /// Injects an address-decoder fault.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the fault references an address outside the
+    /// memory.
+    fn inject_decoder_fault(&mut self, fault: DecoderFault) -> Result<(), MemError>;
+}
+
+impl MemoryPort for Sram {
+    fn config(&self) -> MemConfig {
+        Sram::config(self)
+    }
+
+    fn write(&mut self, address: Address, data: &DataWord) -> Result<(), MemError> {
+        Sram::write(self, address, data)
+    }
+
+    fn write_nwrc(&mut self, address: Address, data: &DataWord) -> Result<(), MemError> {
+        Sram::write_nwrc(self, address, data)
+    }
+
+    fn read(&mut self, address: Address) -> Result<DataWord, MemError> {
+        Sram::read(self, address)
+    }
+
+    #[inline]
+    fn read_expect(&mut self, address: Address, expected: &DataWord) -> Result<Option<DataWord>, MemError> {
+        Sram::read_expect(self, address, expected)
+    }
+
+    fn elapse_retention(&mut self, pause_ms: f64) {
+        Sram::elapse_retention(self, pause_ms);
+    }
+}
+
+impl FaultTarget for Sram {
+    fn inject_cell_fault(&mut self, coord: CellCoord, fault: CellFault) -> Result<(), MemError> {
+        Sram::inject_cell_fault(self, coord, fault)
+    }
+
+    fn inject_decoder_fault(&mut self, fault: DecoderFault) -> Result<(), MemError> {
+        Sram::inject_decoder_fault(self, fault)
+    }
+}
+
+impl MemoryPort for ReferenceSram {
+    fn config(&self) -> MemConfig {
+        ReferenceSram::config(self)
+    }
+
+    fn write(&mut self, address: Address, data: &DataWord) -> Result<(), MemError> {
+        ReferenceSram::write(self, address, data)
+    }
+
+    fn write_nwrc(&mut self, address: Address, data: &DataWord) -> Result<(), MemError> {
+        ReferenceSram::write_nwrc(self, address, data)
+    }
+
+    fn read(&mut self, address: Address) -> Result<DataWord, MemError> {
+        ReferenceSram::read(self, address)
+    }
+
+    fn elapse_retention(&mut self, pause_ms: f64) {
+        ReferenceSram::elapse_retention(self, pause_ms);
+    }
+}
+
+impl FaultTarget for ReferenceSram {
+    fn inject_cell_fault(&mut self, coord: CellCoord, fault: CellFault) -> Result<(), MemError> {
+        ReferenceSram::inject_cell_fault(self, coord, fault)
+    }
+
+    fn inject_decoder_fault(&mut self, fault: DecoderFault) -> Result<(), MemError> {
+        ReferenceSram::inject_decoder_fault(self, fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<M: MemoryPort>(mem: &mut M) -> DataWord {
+        let width = mem.config().width();
+        mem.write(Address::new(0), &DataWord::splat(true, width)).unwrap();
+        mem.elapse_retention(1.0);
+        mem.read(Address::new(0)).unwrap()
+    }
+
+    #[test]
+    fn both_models_serve_the_port_trait() {
+        let config = MemConfig::new(4, 9).unwrap();
+        let mut packed = Sram::new(config);
+        let mut dense = ReferenceSram::new(config);
+        assert_eq!(roundtrip(&mut packed), roundtrip(&mut dense));
+        assert_eq!(MemoryPort::config(&packed), MemoryPort::config(&dense));
+    }
+
+    #[test]
+    fn both_models_serve_the_fault_target_trait() {
+        fn inject<T: FaultTarget>(target: &mut T) {
+            target
+                .inject_cell_fault(CellCoord::new(Address::new(1), 0), CellFault::StuckAt(true))
+                .unwrap();
+        }
+        let config = MemConfig::new(4, 2).unwrap();
+        let mut packed = Sram::new(config);
+        let mut dense = ReferenceSram::new(config);
+        inject(&mut packed);
+        inject(&mut dense);
+        assert_eq!(
+            MemoryPort::read(&mut packed, Address::new(1)).unwrap(),
+            MemoryPort::read(&mut dense, Address::new(1)).unwrap()
+        );
+    }
+}

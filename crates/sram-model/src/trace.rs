@@ -173,6 +173,21 @@ impl OperationTrace {
         }
     }
 
+    /// Records a clocked port operation, building the full [`MemOp`]
+    /// (which may clone the data word) only when recording is enabled.
+    ///
+    /// This keeps cycle accounting exact while making the hot
+    /// read/write path of long diagnosis runs allocation-free.
+    #[inline]
+    pub fn record_clocked(&mut self, op: impl FnOnce() -> MemOp) {
+        self.clock_cycles += 1;
+        if self.enabled {
+            let op = op();
+            debug_assert!(op.kind.is_clocked(), "record_clocked requires a clocked op");
+            self.ops.push(op);
+        }
+    }
+
     /// Recorded operations (empty unless recording was enabled).
     pub fn ops(&self) -> &[MemOp] {
         &self.ops
@@ -238,6 +253,19 @@ mod tests {
         assert_eq!(trace.ops()[2].kind, OpKind::ReadIgnored);
         assert_eq!(trace.count(OpKind::NwrcWrite), 1);
         assert_eq!(trace.count(OpKind::Read), 0);
+    }
+
+    #[test]
+    fn record_clocked_counts_without_building_ops_unless_recording() {
+        let mut trace = OperationTrace::new();
+        trace.record_clocked(|| unreachable!("recording disabled"));
+        assert_eq!(trace.clock_cycles(), 1);
+        assert!(trace.ops().is_empty());
+        trace.set_recording(true);
+        trace.record_clocked(|| MemOp::read(Address::new(2), DataWord::zero(4)));
+        assert_eq!(trace.clock_cycles(), 2);
+        assert_eq!(trace.ops().len(), 1);
+        assert_eq!(trace.ops()[0].kind, OpKind::Read);
     }
 
     #[test]

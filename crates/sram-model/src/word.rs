@@ -10,21 +10,93 @@ use std::fmt;
 /// and carries its width explicitly. Widths of co-existing memories may
 /// differ (the paper's SPC discussion uses `c = 4` and `c' = 3`), so all
 /// port operations validate widths at run time.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug)]
 pub struct DataWord {
     width: usize,
-    limbs: Vec<u64>,
+    limbs: LimbBuf,
+}
+
+/// Number of limbs stored inline (words up to 128 bits — including the
+/// paper's 100-bit benchmark width — never touch the heap).
+const INLINE_LIMBS: usize = 2;
+
+/// Limb storage: a fixed inline array for widths up to
+/// `64 * INLINE_LIMBS` bits, a heap vector beyond. The variant is fully
+/// determined by the width (constructors enforce it), so equality can
+/// compare limb slices directly.
+#[derive(Debug, Clone)]
+enum LimbBuf {
+    /// Widths `1..=128`; limbs beyond the word's limb count stay zero.
+    Inline([u64; INLINE_LIMBS]),
+    /// Widths above 128 bits.
+    Heap(Vec<u64>),
+}
+
+/// Mask selecting the valid bits of the top (most significant) limb of a
+/// word of `width` bits.
+pub(crate) fn top_limb_mask(width: usize) -> u64 {
+    match width % 64 {
+        0 => u64::MAX,
+        rem => (1u64 << rem) - 1,
+    }
+}
+
+impl Clone for DataWord {
+    #[inline]
+    fn clone(&self) -> Self {
+        DataWord {
+            width: self.width,
+            limbs: self.limbs.clone(),
+        }
+    }
+
+    #[inline]
+    fn clone_from(&mut self, source: &Self) {
+        // Keep hot paths (sense-amp state updates, golden-word
+        // maintenance) allocation-free: inline buffers are plain copies
+        // and `Vec::clone_from` reuses the heap allocation.
+        self.width = source.width;
+        match (&mut self.limbs, &source.limbs) {
+            (LimbBuf::Inline(dst), LimbBuf::Inline(src)) => *dst = *src,
+            (LimbBuf::Heap(dst), LimbBuf::Heap(src)) => dst.clone_from(src),
+            (dst, src) => *dst = src.clone(),
+        }
+    }
+}
+
+impl PartialEq for DataWord {
+    fn eq(&self, other: &Self) -> bool {
+        self.width == other.width && self.limbs() == other.limbs()
+    }
+}
+
+impl Eq for DataWord {}
+
+impl std::hash::Hash for DataWord {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.width.hash(state);
+        self.limbs().hash(state);
+    }
 }
 
 impl DataWord {
+    fn limb_count(width: usize) -> usize {
+        width.div_ceil(64)
+    }
+
     /// Creates an all-zero word of the given width.
     ///
     /// # Panics
     ///
     /// Panics if `width` is zero.
+    #[inline]
     pub fn zero(width: usize) -> Self {
         assert!(width > 0, "data word width must be non-zero");
-        let limbs = vec![0u64; width.div_ceil(64)];
+        let limbs = if width <= 64 * INLINE_LIMBS {
+            LimbBuf::Inline([0; INLINE_LIMBS])
+        } else {
+            LimbBuf::Heap(vec![0u64; DataWord::limb_count(width)])
+        };
         DataWord { width, limbs }
     }
 
@@ -36,11 +108,108 @@ impl DataWord {
     pub fn splat(value: bool, width: usize) -> Self {
         let mut word = DataWord::zero(width);
         if value {
-            for bit in 0..width {
-                word.set(bit, true);
+            let limbs = word.limbs_mut();
+            for limb in limbs.iter_mut() {
+                *limb = u64::MAX;
             }
+            let last = limbs.len() - 1;
+            limbs[last] &= top_limb_mask(width);
         }
         word
+    }
+
+    /// Creates a word directly from its 64-bit limbs (LSB limb first).
+    ///
+    /// Bits of the top limb beyond `width` are masked off so that words
+    /// built from limbs compare equal to words built bit by bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or `limbs.len() != width.div_ceil(64)`.
+    pub fn from_limbs(width: usize, limbs: Vec<u64>) -> Self {
+        assert!(width > 0, "data word width must be non-zero");
+        assert_eq!(
+            limbs.len(),
+            DataWord::limb_count(width),
+            "limb count must match width"
+        );
+        let mut word = DataWord::zero(width);
+        word.copy_limbs_from(&limbs);
+        word
+    }
+
+    /// Overwrites the word's limbs from a slice of the same limb count,
+    /// masking the top limb. Allocation-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limbs.len() != width.div_ceil(64)`.
+    #[inline]
+    pub fn copy_limbs_from(&mut self, limbs: &[u64]) {
+        let width = self.width;
+        let dst = self.limbs_mut();
+        dst.copy_from_slice(limbs);
+        let last = dst.len() - 1;
+        dst[last] &= top_limb_mask(width);
+    }
+
+    /// Builds a word of `width <= 128` directly from its (already
+    /// masked) inline limbs — the zero-cost constructor the packed
+    /// planes use on the read hot path.
+    ///
+    /// Callers must guarantee that bits beyond `width` are zero.
+    #[inline]
+    pub(crate) fn from_inline_limbs(width: usize, limbs: [u64; INLINE_LIMBS]) -> Self {
+        debug_assert!(width > 0 && width <= 64 * INLINE_LIMBS);
+        debug_assert!(
+            {
+                let mut canonical = limbs;
+                if width <= 64 {
+                    canonical[1] = 0;
+                }
+                canonical[DataWord::limb_count(width) - 1] &= top_limb_mask(width);
+                canonical == limbs
+            },
+            "from_inline_limbs requires masked limbs"
+        );
+        DataWord {
+            width,
+            limbs: LimbBuf::Inline(limbs),
+        }
+    }
+
+    /// Overwrites an inline word's limbs from an (already masked) limb
+    /// pair — the allocation- and loop-free sibling of
+    /// [`DataWord::copy_limbs_from`] used on the packed read hot path.
+    ///
+    /// Callers must guarantee `width <= 128` and masked input limbs.
+    #[inline]
+    pub(crate) fn set_inline_limbs(&mut self, limbs: [u64; INLINE_LIMBS]) {
+        debug_assert!(self.width <= 64 * INLINE_LIMBS);
+        match &mut self.limbs {
+            LimbBuf::Inline(dst) => *dst = limbs,
+            LimbBuf::Heap(_) => unreachable!("inline limbs on a heap word"),
+        }
+    }
+
+    /// The 64-bit limbs backing the word, LSB limb first. Bits beyond
+    /// `width` in the top limb are always zero.
+    #[inline]
+    pub fn limbs(&self) -> &[u64] {
+        let count = DataWord::limb_count(self.width);
+        match &self.limbs {
+            LimbBuf::Inline(limbs) => &limbs[..count],
+            LimbBuf::Heap(limbs) => limbs,
+        }
+    }
+
+    #[inline]
+    fn limbs_mut(&mut self) -> &mut [u64] {
+        let count = DataWord::limb_count(self.width);
+        match &mut self.limbs {
+            LimbBuf::Inline(limbs) => &mut limbs[..count],
+            LimbBuf::Heap(limbs) => limbs,
+        }
     }
 
     /// Creates a word from an iterator of bits, LSB first.
@@ -102,6 +271,7 @@ impl DataWord {
     }
 
     /// Width of the word in bits.
+    #[inline]
     pub fn width(&self) -> usize {
         self.width
     }
@@ -111,13 +281,14 @@ impl DataWord {
     /// # Panics
     ///
     /// Panics if `index >= width`.
+    #[inline]
     pub fn bit(&self, index: usize) -> bool {
         assert!(
             index < self.width,
             "bit index {index} out of range for width {}",
             self.width
         );
-        (self.limbs[index / 64] >> (index % 64)) & 1 == 1
+        (self.limbs()[index / 64] >> (index % 64)) & 1 == 1
     }
 
     /// Fallible accessor for bit `index`.
@@ -141,13 +312,14 @@ impl DataWord {
     /// # Panics
     ///
     /// Panics if `index >= width`.
+    #[inline]
     pub fn set(&mut self, index: usize, value: bool) {
         assert!(
             index < self.width,
             "bit index {index} out of range for width {}",
             self.width
         );
-        let limb = &mut self.limbs[index / 64];
+        let limb = &mut self.limbs_mut()[index / 64];
         let mask = 1u64 << (index % 64);
         if value {
             *limb |= mask;
@@ -159,9 +331,13 @@ impl DataWord {
     /// Returns a copy with every bit inverted.
     pub fn inverted(&self) -> Self {
         let mut out = self.clone();
-        for bit in 0..self.width {
-            out.set(bit, !self.bit(bit));
+        let width = self.width;
+        let limbs = out.limbs_mut();
+        for limb in limbs.iter_mut() {
+            *limb = !*limb;
         }
+        let last = limbs.len() - 1;
+        limbs[last] &= top_limb_mask(width);
         out
     }
 
@@ -172,21 +348,46 @@ impl DataWord {
     /// Panics if widths differ.
     pub fn xor(&self, other: &DataWord) -> DataWord {
         assert_eq!(self.width, other.width, "xor requires equal widths");
-        let mut out = DataWord::zero(self.width);
-        for bit in 0..self.width {
-            out.set(bit, self.bit(bit) ^ other.bit(bit));
+        let mut out = self.clone();
+        for (limb, o) in out.limbs_mut().iter_mut().zip(other.limbs()) {
+            *limb ^= o;
         }
         out
     }
 
+    /// Bitwise AND with another word of the same width, in place.
+    ///
+    /// This is the wired-AND the precharged bitlines compute when a
+    /// decoder fault activates several rows at once.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    #[inline]
+    pub fn and_assign(&mut self, other: &DataWord) {
+        assert_eq!(self.width, other.width, "and_assign requires equal widths");
+        for (limb, o) in self.limbs_mut().iter_mut().zip(other.limbs()) {
+            *limb &= o;
+        }
+    }
+
     /// Indices of bits set to one.
     pub fn ones(&self) -> Vec<usize> {
-        (0..self.width).filter(|&b| self.bit(b)).collect()
+        let mut out = Vec::new();
+        for (index, &limb) in self.limbs().iter().enumerate() {
+            let mut rest = limb;
+            while rest != 0 {
+                let bit = rest.trailing_zeros() as usize;
+                out.push(index * 64 + bit);
+                rest &= rest - 1;
+            }
+        }
+        out
     }
 
     /// Number of bits set to one.
     pub fn count_ones(&self) -> usize {
-        (0..self.width).filter(|&b| self.bit(b)).count()
+        self.limbs().iter().map(|l| l.count_ones() as usize).sum()
     }
 
     /// Returns the bit positions where `self` and `other` differ.
@@ -194,12 +395,24 @@ impl DataWord {
     /// This is what the BISD comparator array computes per memory: the
     /// failing bit positions of a response against the expected value.
     ///
+    /// Allocation-free when the words agree (the common case on the
+    /// fault-simulation hot path).
+    ///
     /// # Panics
     ///
     /// Panics if widths differ.
+    #[inline]
     pub fn mismatches(&self, other: &DataWord) -> Vec<usize> {
         assert_eq!(self.width, other.width, "mismatches requires equal widths");
-        (0..self.width).filter(|&b| self.bit(b) != other.bit(b)).collect()
+        let mut out = Vec::new();
+        for (index, (a, b)) in self.limbs().iter().zip(other.limbs()).enumerate() {
+            let mut diff = a ^ b;
+            while diff != 0 {
+                out.push(index * 64 + diff.trailing_zeros() as usize);
+                diff &= diff - 1;
+            }
+        }
+        out
     }
 
     /// Bits of the word, LSB first.
@@ -227,16 +440,11 @@ impl DataWord {
 
     /// Interprets the word as a `u64` if it fits.
     pub fn as_u64(&self) -> Option<u64> {
-        if self.width > 64 && self.ones().iter().any(|&b| b >= 64) {
+        let limbs = self.limbs();
+        if limbs[1..].iter().any(|&l| l != 0) {
             return None;
         }
-        let mut value = 0u64;
-        for bit in 0..self.width.min(64) {
-            if self.bit(bit) {
-                value |= 1 << bit;
-            }
-        }
-        Some(value)
+        Some(limbs[0])
     }
 }
 

@@ -1,0 +1,162 @@
+//! `DataWord` limb-boundary edge cases: widths that straddle the 64-bit
+//! limb boundary (63/64/65) and the paper's benchmark width (100).
+//!
+//! The packed bit-plane storage core relies on two invariants checked
+//! here: bits of the top limb beyond the width are always zero (so limb
+//! compares and copies are exact), and words built bit by bit compare
+//! equal to words built from limbs or by bulk constructors.
+
+use sram_model::{DataWord, MemError};
+
+const WIDTHS: [usize; 4] = [63, 64, 65, 100];
+
+/// A deterministic pseudo-random word built bit by bit.
+fn scrambled(width: usize, seed: u64) -> DataWord {
+    let mut word = DataWord::zero(width);
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    for bit in 0..width {
+        state = state.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1);
+        word.set(bit, state >> 63 == 1);
+    }
+    word
+}
+
+#[test]
+fn splat_masks_the_top_limb_at_every_boundary_width() {
+    for width in WIDTHS {
+        let ones = DataWord::splat(true, width);
+        assert_eq!(ones.count_ones(), width, "width {width}");
+        assert_eq!(ones.ones().len(), width);
+        // The exported limbs must have no stray bits beyond the width.
+        let limbs = ones.limbs();
+        assert_eq!(limbs.len(), width.div_ceil(64));
+        let top_bits = width - (limbs.len() - 1) * 64;
+        let expected_top = if top_bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << top_bits) - 1
+        };
+        assert_eq!(limbs[limbs.len() - 1], expected_top, "width {width} top limb");
+        // And splat must agree with the bit-by-bit construction.
+        let mut manual = DataWord::zero(width);
+        for bit in 0..width {
+            manual.set(bit, true);
+        }
+        assert_eq!(ones, manual, "width {width}");
+    }
+}
+
+#[test]
+fn bit_and_set_round_trip_across_the_limb_boundary() {
+    for width in WIDTHS {
+        let mut word = DataWord::zero(width);
+        let probes: Vec<usize> = [0usize, 62, 63, 64, 65, width - 1]
+            .into_iter()
+            .filter(|&b| b < width)
+            .collect();
+        for &bit in &probes {
+            word.set(bit, true);
+            assert!(word.bit(bit), "width {width} bit {bit}");
+        }
+        assert_eq!(
+            word.count_ones(),
+            probes.iter().collect::<std::collections::BTreeSet<_>>().len()
+        );
+        for &bit in &probes {
+            word.set(bit, false);
+            assert!(!word.bit(bit), "width {width} bit {bit} clear");
+        }
+        assert_eq!(word, DataWord::zero(width));
+        assert_eq!(
+            word.try_bit(width),
+            Err(MemError::BitOutOfRange { bit: width, width })
+        );
+    }
+}
+
+#[test]
+fn from_limbs_masks_stray_high_bits_and_round_trips() {
+    for width in WIDTHS {
+        let reference = scrambled(width, width as u64);
+        let rebuilt = DataWord::from_limbs(width, reference.limbs().to_vec());
+        assert_eq!(rebuilt, reference, "width {width}");
+
+        // Stray bits above the width must be masked away on entry.
+        let mut dirty = reference.limbs().to_vec();
+        let last = dirty.len() - 1;
+        dirty[last] |= !sram_model_top_mask(width);
+        let cleaned = DataWord::from_limbs(width, dirty);
+        assert_eq!(cleaned, reference, "width {width} must mask stray bits");
+    }
+}
+
+/// Local mirror of the crate's top-limb mask (not exported).
+fn sram_model_top_mask(width: usize) -> u64 {
+    match width % 64 {
+        0 => u64::MAX,
+        rem => (1u64 << rem) - 1,
+    }
+}
+
+#[test]
+fn equality_and_hash_inputs_are_canonical_after_mixed_writes() {
+    for width in WIDTHS {
+        // Build the same logical word three different ways: bit by bit,
+        // via from_limbs, and via set/clear churn crossing the boundary.
+        let a = scrambled(width, 7);
+        let b = DataWord::from_limbs(width, a.limbs().to_vec());
+        let mut c = DataWord::splat(true, width);
+        for bit in 0..width {
+            c.set(bit, a.bit(bit));
+        }
+        assert_eq!(a, b, "width {width}");
+        assert_eq!(a, c, "width {width}");
+        assert_eq!(a.limbs(), c.limbs(), "width {width} canonical limbs");
+    }
+}
+
+#[test]
+fn inverted_xor_and_mismatches_respect_the_width_boundary() {
+    for width in WIDTHS {
+        let word = scrambled(width, 42);
+        let inverted = word.inverted();
+        assert_eq!(inverted.count_ones(), width - word.count_ones(), "width {width}");
+        assert_eq!(inverted.inverted(), word);
+        // XOR with the inverse is all ones; mismatches must list every bit.
+        let diff = word.xor(&inverted);
+        assert_eq!(diff, DataWord::splat(true, width));
+        assert_eq!(word.mismatches(&inverted).len(), width);
+        assert!(word.mismatches(&word).is_empty());
+        // A single mismatch straddling the limb boundary is reported.
+        if width > 64 {
+            let mut tweaked = word.clone();
+            tweaked.set(64, !word.bit(64));
+            assert_eq!(word.mismatches(&tweaked), vec![64], "width {width}");
+        }
+    }
+}
+
+#[test]
+fn backgrounds_agree_with_bitwise_definitions_at_boundary_widths() {
+    for width in WIDTHS {
+        for (row, inverted) in [(0u64, false), (1, false), (2, true), (5, true)] {
+            let checker = DataWord::checkerboard(width, row, inverted);
+            let stripe = DataWord::column_stripe(width, inverted);
+            for bit in [0usize, 62, 63, 64, width - 1] {
+                if bit >= width {
+                    continue;
+                }
+                assert_eq!(
+                    checker.bit(bit),
+                    (bit as u64 + row).is_multiple_of(2) ^ inverted,
+                    "checkerboard width {width} row {row} bit {bit} inverted {inverted}"
+                );
+                assert_eq!(
+                    stripe.bit(bit),
+                    (bit % 2 == 0) ^ inverted,
+                    "column stripe width {width} bit {bit}"
+                );
+            }
+        }
+    }
+}

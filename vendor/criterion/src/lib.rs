@@ -16,9 +16,27 @@
 
 #![deny(missing_docs)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
+
+/// One completed benchmark measurement, as recorded in the
+/// machine-readable `BENCH_results.json` ledger.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchRecord {
+    /// Full benchmark id (`group/function`).
+    pub name: String,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: u128,
+    /// Minimum per-iteration time in nanoseconds.
+    pub min_ns: u128,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+/// Results recorded by this process, drained by [`write_results`].
+static RESULTS: Mutex<Vec<BenchRecord>> = Mutex::new(Vec::new());
 
 /// Top-level harness handle, passed to every benchmark function.
 #[derive(Debug)]
@@ -164,6 +182,103 @@ fn run_benchmark<F: FnMut(&mut Bencher)>(
         min,
         bencher.samples.len()
     );
+    RESULTS.lock().expect("results lock").push(BenchRecord {
+        name: id.to_string(),
+        mean_ns: mean.as_nanos(),
+        min_ns: min.as_nanos(),
+        samples: bencher.samples.len(),
+    });
+}
+
+// ----------------------------------------------------------------
+// Machine-readable results ledger (BENCH_results.json)
+// ----------------------------------------------------------------
+
+/// Writes every benchmark result recorded by this process into the
+/// machine-readable `BENCH_results.json` ledger, so the performance
+/// trajectory can be tracked across commits.
+///
+/// The ledger lives at `$BENCH_RESULTS_PATH` if set, otherwise at the
+/// workspace root (two levels above the invoking bench crate's
+/// `CARGO_MANIFEST_DIR`, which [`criterion_main!`] passes in). Existing
+/// records from other bench targets are preserved; records with the
+/// same benchmark name are replaced, and the file is kept sorted by
+/// name so re-runs diff cleanly.
+pub fn write_results(manifest_dir: &str) {
+    let mut new_records = RESULTS.lock().expect("results lock").clone();
+    if new_records.is_empty() {
+        return;
+    }
+    let path = std::env::var("BENCH_RESULTS_PATH")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|_| {
+            std::path::Path::new(manifest_dir)
+                .join("..")
+                .join("..")
+                .join("BENCH_results.json")
+        });
+    let mut records = std::fs::read_to_string(&path)
+        .map(|text| parse_records(&text))
+        .unwrap_or_default();
+    records.retain(|existing| !new_records.iter().any(|new| new.name == existing.name));
+    records.append(&mut new_records);
+    records.sort_by(|a, b| a.name.cmp(&b.name));
+    if let Err(error) = std::fs::write(&path, serialize_records(&records)) {
+        eprintln!("warning: could not write {}: {error}", path.display());
+    } else {
+        println!("\nrecorded {} benchmark(s) in {}", records.len(), path.display());
+    }
+}
+
+/// Serialises records into the ledger format: one JSON object per line
+/// inside a `"benches"` array, so the file is both valid JSON and
+/// trivially greppable.
+fn serialize_records(records: &[BenchRecord]) -> String {
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (index, record) in records.iter().enumerate() {
+        let comma = if index + 1 < records.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"mean_ns\": {}, \"min_ns\": {}, \"samples\": {}}}{comma}\n",
+            record.name.replace('"', "'"),
+            record.mean_ns,
+            record.min_ns,
+            record.samples
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Parses a ledger previously written by [`serialize_records`]
+/// (line-oriented; malformed lines are skipped).
+fn parse_records(text: &str) -> Vec<BenchRecord> {
+    text.lines()
+        .filter_map(|line| {
+            Some(BenchRecord {
+                name: extract_str(line, "name")?.to_string(),
+                mean_ns: extract_num(line, "mean_ns")?,
+                min_ns: extract_num(line, "min_ns")?,
+                samples: extract_num(line, "samples")? as usize,
+            })
+        })
+        .collect()
+}
+
+fn extract_str<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pattern = format!("\"{key}\": \"");
+    let start = line.find(&pattern)? + pattern.len();
+    let end = line[start..].find('"')? + start;
+    Some(&line[start..end])
+}
+
+fn extract_num(line: &str, key: &str) -> Option<u128> {
+    let pattern = format!("\"{key}\": ");
+    let start = line.find(&pattern)? + pattern.len();
+    let digits: &str = line[start..]
+        .split(|c: char| !c.is_ascii_digit())
+        .next()
+        .unwrap_or("");
+    digits.parse().ok()
 }
 
 /// Bundles benchmark functions into a runnable group function.
@@ -177,12 +292,15 @@ macro_rules! criterion_group {
     };
 }
 
-/// Generates `main` running the given benchmark groups.
+/// Generates `main` running the given benchmark groups, then records
+/// their measurements in the `BENCH_results.json` ledger at the
+/// workspace root (see [`write_results`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::write_results(env!("CARGO_MANIFEST_DIR"));
         }
     };
 }
@@ -204,6 +322,52 @@ mod tests {
         group.finish();
         // warm-up + 5 samples
         assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn results_ledger_round_trips_and_merges() {
+        let records = vec![
+            BenchRecord {
+                name: "group/alpha".to_string(),
+                mean_ns: 12_345,
+                min_ns: 12_000,
+                samples: 10,
+            },
+            BenchRecord {
+                name: "group/beta".to_string(),
+                mean_ns: 7,
+                min_ns: 5,
+                samples: 3,
+            },
+        ];
+        let text = serialize_records(&records);
+        assert!(text.starts_with("{\n  \"benches\": [\n"));
+        assert!(text.trim_end().ends_with('}'));
+        assert_eq!(parse_records(&text), records);
+
+        // Merge semantics: same-name records replace, others persist.
+        let mut merged = parse_records(&text);
+        let update = BenchRecord {
+            name: "group/alpha".to_string(),
+            mean_ns: 99,
+            min_ns: 98,
+            samples: 10,
+        };
+        merged.retain(|r| r.name != update.name);
+        merged.push(update.clone());
+        merged.sort_by(|a, b| a.name.cmp(&b.name));
+        let reparsed = parse_records(&serialize_records(&merged));
+        assert_eq!(reparsed.len(), 2);
+        assert_eq!(reparsed[0], update);
+        assert_eq!(reparsed[1].name, "group/beta");
+    }
+
+    #[test]
+    fn malformed_ledger_lines_are_skipped() {
+        let text = "{\n  \"benches\": [\n    {\"name\": \"ok\", \"mean_ns\": 1, \"min_ns\": 1, \"samples\": 1}\n    garbage line\n  ]\n}\n";
+        let parsed = parse_records(text);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].name, "ok");
     }
 
     #[test]
