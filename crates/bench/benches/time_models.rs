@@ -1,11 +1,111 @@
 //! E1–E4: diagnosis-time models (Eq. 1–4) and the Sec. 4.2 case study,
-//! plus a cycle-accurate simulated comparison of both schemes.
+//! plus a cycle-accurate simulated comparison of both schemes and the
+//! SoA population-batching measurement points:
+//!
+//! * `fast_scheme_diagnose_512mem_soa` — end-to-end diagnosis of a
+//!   512-memory SoC, tractable because the controller's golden state is
+//!   one shared SoA store instead of 512 `Vec<DataWord>`s;
+//! * `population_golden_soa_512mem` vs `population_golden_aos_512mem` —
+//!   the golden-state maintenance alone, SoA [`GoldenStore`] against
+//!   the frozen pre-SoA per-memory `Vec<DataWord>` layout, driven by
+//!   the identical write/read stream (the entries proving the SoA win
+//!   in the committed ledger).
 
 use bench::{print_section, small_population};
 use criterion::{criterion_group, criterion_main, Criterion};
-use esram_diag::{AnalyticModel, CaseStudy, DiagnosisScheme, DrfMode, FastScheme, HuangScheme};
+use esram_diag::{
+    AnalyticModel, CaseStudy, DataBackground, DataBackgroundGenerator, DiagnosisScheme, DrfMode, FastScheme,
+    GoldenStore, HuangScheme, MarchSchedule, MemConfig,
+};
+use sram_model::{Address, DataWord};
 use std::hint::black_box;
 use std::time::Duration;
+
+/// Population size for the SoA measurement points.
+const SOA_MEMORIES: usize = 512;
+
+/// Geometry of the SoA population (the S1 scaled geometry).
+fn soa_config() -> MemConfig {
+    MemConfig::new(64, 16).expect("valid geometry")
+}
+
+/// The schedule the fast scheme runs for the SoA population.
+fn soa_schedule() -> MarchSchedule {
+    FastScheme::new(10.0).with_drf_mode(DrfMode::None).schedule(16)
+}
+
+/// Walks the schedule's write/read stream over the population's golden
+/// state held in the SoA [`GoldenStore`]; returns a checksum of visited
+/// expectations so the work cannot be optimised away.
+fn golden_soa_stream(configs: &[MemConfig], schedule: &MarchSchedule) -> usize {
+    let generator = DataBackgroundGenerator::new(16);
+    let backgrounds: Vec<DataBackground> = schedule.phases().iter().map(|p| p.background).collect();
+    let mut store = GoldenStore::new(configs, &generator, &backgrounds);
+    let words = configs[0].words();
+    let mut checksum = 0usize;
+    for (phase_index, phase) in schedule.phases().iter().enumerate() {
+        for element in phase.test.elements() {
+            for global in 0..words {
+                let global = Address::new(global);
+                for op in &element.ops {
+                    if op.is_write() {
+                        store.record_write(phase_index, global, op.value().unwrap_or(false));
+                    } else if op.is_read() {
+                        for member in 0..configs.len() {
+                            checksum = checksum.wrapping_add(store.expected_at(member, global).count_ones());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    checksum
+}
+
+/// The frozen pre-SoA layout: one golden `Vec<DataWord>` per memory,
+/// per-element expectation words per memory, `clone_from` per write per
+/// memory — exactly the controller state maintenance the fast scheme
+/// performed before the SoA rewrite, driven by the same stream.
+fn golden_aos_stream(configs: &[MemConfig], schedule: &MarchSchedule) -> usize {
+    let generator = DataBackgroundGenerator::new(16);
+    let mut golden: Vec<Vec<DataWord>> = configs
+        .iter()
+        .map(|c| vec![DataWord::zero(c.width()); c.words() as usize])
+        .collect();
+    let words = configs[0].words();
+    let mut checksum = 0usize;
+    for phase in schedule.phases() {
+        let background = phase.background;
+        for element in phase.test.elements() {
+            let expected_by_value: Vec<Vec<DataWord>> = [false, true]
+                .iter()
+                .map(|&value| {
+                    configs
+                        .iter()
+                        .map(|c| generator.pattern_for_width(background, value, c.width()))
+                        .collect()
+                })
+                .collect();
+            for global in 0..words {
+                for op in &element.ops {
+                    if op.is_write() {
+                        let value = usize::from(op.value().unwrap_or(false));
+                        for (index, memory_golden) in golden.iter_mut().enumerate() {
+                            let local = (global % configs[index].words()) as usize;
+                            memory_golden[local].clone_from(&expected_by_value[value][index]);
+                        }
+                    } else if op.is_read() {
+                        for (index, memory_golden) in golden.iter().enumerate() {
+                            let local = (global % configs[index].words()) as usize;
+                            checksum = checksum.wrapping_add(memory_golden[local].count_ones());
+                        }
+                    }
+                }
+            }
+        }
+    }
+    checksum
+}
 
 fn print_case_study() {
     print_section("E1-E4: Sec. 4.2 case study (n = 512, c = 100, t = 10 ns, 1 % defects)");
@@ -102,6 +202,35 @@ fn bench_time_models(c: &mut Criterion) {
             },
             criterion::BatchSize::SmallInput,
         )
+    });
+
+    // SoA population batching: a 512-memory SoC end to end, plus the
+    // golden-state maintenance in isolation (SoA vs frozen AoS layout).
+    let configs = vec![soa_config(); SOA_MEMORIES];
+    let schedule = soa_schedule();
+    assert_eq!(
+        golden_soa_stream(&configs, &schedule),
+        golden_aos_stream(&configs, &schedule),
+        "SoA and AoS golden maintenance must visit identical expectations"
+    );
+    group.bench_function("fast_scheme_diagnose_512mem_soa", |b| {
+        b.iter_batched(
+            || small_population(SOA_MEMORIES, 64, 16, 0.0005, 42),
+            |mut soc| {
+                let result = FastScheme::new(10.0)
+                    .with_drf_mode(DrfMode::None)
+                    .diagnose(soc.memories_mut())
+                    .expect("fast run");
+                black_box(result.cycles)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("population_golden_soa_512mem", |b| {
+        b.iter(|| black_box(golden_soa_stream(&configs, &schedule)))
+    });
+    group.bench_function("population_golden_aos_512mem", |b| {
+        b.iter(|| black_box(golden_aos_stream(&configs, &schedule)))
     });
 
     group.finish();

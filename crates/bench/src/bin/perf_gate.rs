@@ -1,0 +1,126 @@
+//! CI perf-regression gate over the `BENCH_results.json` ledger.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate --ledger BENCH_results.json --fresh /tmp/fresh.json \
+//!           [--prefix fault_sim_throughput/] [--max-ratio 2.0]
+//! ```
+//!
+//! Re-run the benchmark group into a fresh ledger first (the vendored
+//! criterion honours `BENCH_RESULTS_PATH`), then gate it against the
+//! committed ledger: any benchmark whose mean slowed down by more than
+//! `--max-ratio` (default 2.0) fails the process with exit code 1. New
+//! and retired benchmarks are reported but do not fail the gate.
+
+use bench::ledger::{gate, parse_ledger};
+use std::process::ExitCode;
+
+struct Args {
+    ledger: String,
+    fresh: String,
+    prefix: String,
+    max_ratio: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut ledger = None;
+    let mut fresh = None;
+    let mut prefix = String::new();
+    let mut max_ratio = 2.0f64;
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value = |name: &str| argv.next().ok_or(format!("{name} requires a value"));
+        match flag.as_str() {
+            "--ledger" => ledger = Some(value("--ledger")?),
+            "--fresh" => fresh = Some(value("--fresh")?),
+            "--prefix" => prefix = value("--prefix")?,
+            "--max-ratio" => {
+                let raw = value("--max-ratio")?;
+                max_ratio = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| r.is_finite() && *r > 0.0)
+                    .ok_or(format!("invalid --max-ratio '{raw}'"))?;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Args {
+        ledger: ledger.ok_or("--ledger is required")?,
+        fresh: fresh.ok_or("--fresh is required")?,
+        prefix,
+        max_ratio,
+    })
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let baseline_text = std::fs::read_to_string(&args.ledger)
+        .map_err(|e| format!("cannot read committed ledger {}: {e}", args.ledger))?;
+    let fresh_text = std::fs::read_to_string(&args.fresh)
+        .map_err(|e| format!("cannot read fresh ledger {}: {e}", args.fresh))?;
+    let baseline = parse_ledger(&baseline_text);
+    let fresh = parse_ledger(&fresh_text);
+    if fresh.iter().filter(|e| e.name.starts_with(&args.prefix)).count() == 0 {
+        return Err(format!(
+            "fresh ledger {} contains no entries with prefix '{}' — did the bench run?",
+            args.fresh, args.prefix
+        ));
+    }
+
+    let report = gate(&baseline, &fresh, &args.prefix);
+    let scope = if args.prefix.is_empty() {
+        "all benchmarks".to_string()
+    } else {
+        format!("prefix '{}'", args.prefix)
+    };
+    println!(
+        "perf gate: {} compared ({scope}), allowed slowdown {:.2}x",
+        report.compared.len(),
+        args.max_ratio
+    );
+    for comparison in &report.compared {
+        let verdict = if comparison.regressed(args.max_ratio) {
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!("  [{verdict}] {comparison}");
+    }
+    for name in &report.new_entries {
+        println!("  [new] {name} (no committed baseline; commit the refreshed ledger)");
+    }
+    for name in &report.missing_entries {
+        println!("  [missing] {name} (committed but not produced by the fresh run)");
+    }
+
+    let passed = report.passes(args.max_ratio);
+    if passed {
+        println!("perf gate passed");
+    } else {
+        println!(
+            "perf gate FAILED: {} benchmark(s) regressed beyond {:.2}x",
+            report.regressions(args.max_ratio).len(),
+            args.max_ratio
+        );
+    }
+    Ok(passed)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("perf_gate: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args) {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::FAILURE,
+        Err(message) => {
+            eprintln!("perf_gate: {message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Comparing `BENCH_results.json` ledgers for the CI perf gate.
+//!
+//! The vendored criterion stand-in records every benchmark run in a
+//! line-oriented JSON ledger committed at the workspace root; its
+//! writer-paired parser ([`criterion::parse_records`]) is reused here so
+//! the format has exactly one reader and one writer. This module
+//! implements the CI perf-regression gate's comparison on top: a fresh
+//! run of a benchmark group is compared entry-by-entry against the
+//! committed ledger, and any benchmark whose mean slowed down by more
+//! than the allowed factor fails the gate. New benchmarks (present only
+//! in the fresh run) and retired ones (present only in the ledger) are
+//! reported but never fail the gate — the ledger update that introduces
+//! or removes entries is reviewed with the code change itself.
+//!
+//! The committed baseline is hardware-bound (it was recorded on one CI
+//! runner class, with the sharded entries pinned to one thread); the
+//! workflow pins `ESRAM_DIAG_THREADS=1` for the fresh run so core-count
+//! differences cannot masquerade as regressions, and the ledger is
+//! refreshed whenever the runner class changes.
+
+pub use criterion::{parse_records as parse_ledger, BenchRecord};
+use std::fmt;
+
+/// Verdict of the gate for one benchmark present in both ledgers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Benchmark id.
+    pub name: String,
+    /// Committed (baseline) mean in nanoseconds.
+    pub baseline_mean_ns: u128,
+    /// Fresh-run mean in nanoseconds.
+    pub fresh_mean_ns: u128,
+    /// `fresh / baseline` (> 1 means the benchmark got slower).
+    pub ratio: f64,
+}
+
+impl Comparison {
+    /// True if the slowdown exceeds the allowed factor.
+    pub fn regressed(&self, max_ratio: f64) -> bool {
+        self.ratio > max_ratio
+    }
+}
+
+impl fmt::Display for Comparison {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: committed {} ns -> fresh {} ns ({:.2}x)",
+            self.name, self.baseline_mean_ns, self.fresh_mean_ns, self.ratio
+        )
+    }
+}
+
+/// Result of gating a fresh run against the committed ledger.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct GateReport {
+    /// Benchmarks present in both ledgers, with their slowdown ratios.
+    pub compared: Vec<Comparison>,
+    /// Fresh benchmarks with no committed baseline (informational).
+    pub new_entries: Vec<String>,
+    /// Committed benchmarks the fresh run did not produce
+    /// (informational; usually a renamed or retired benchmark).
+    pub missing_entries: Vec<String>,
+}
+
+impl GateReport {
+    /// The comparisons that exceed `max_ratio`.
+    pub fn regressions(&self, max_ratio: f64) -> Vec<&Comparison> {
+        self.compared.iter().filter(|c| c.regressed(max_ratio)).collect()
+    }
+
+    /// True if every compared benchmark is within the allowed factor.
+    pub fn passes(&self, max_ratio: f64) -> bool {
+        self.regressions(max_ratio).is_empty()
+    }
+}
+
+/// Compares the fresh entries whose names start with `prefix` against
+/// the committed baseline (an empty prefix gates everything).
+pub fn gate(baseline: &[BenchRecord], fresh: &[BenchRecord], prefix: &str) -> GateReport {
+    let mut report = GateReport::default();
+    for entry in fresh.iter().filter(|e| e.name.starts_with(prefix)) {
+        match baseline.iter().find(|b| b.name == entry.name) {
+            Some(base) => {
+                // Baselines of 0 ns cannot regress meaningfully; treat
+                // them as ratio 1 to avoid dividing by zero.
+                let ratio = if base.mean_ns == 0 {
+                    1.0
+                } else {
+                    entry.mean_ns as f64 / base.mean_ns as f64
+                };
+                report.compared.push(Comparison {
+                    name: entry.name.clone(),
+                    baseline_mean_ns: base.mean_ns,
+                    fresh_mean_ns: entry.mean_ns,
+                    ratio,
+                });
+            }
+            None => report.new_entries.push(entry.name.clone()),
+        }
+    }
+    for base in baseline.iter().filter(|e| e.name.starts_with(prefix)) {
+        if !fresh.iter().any(|e| e.name == base.name) {
+            report.missing_entries.push(base.name.clone());
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str, mean_ns: u128) -> BenchRecord {
+        BenchRecord {
+            name: name.to_string(),
+            mean_ns,
+            min_ns: mean_ns,
+            samples: 10,
+        }
+    }
+
+    #[test]
+    fn parse_ledger_reads_the_committed_format() {
+        // The parser is the vendored writer's own; this asserts the
+        // re-export keeps reading the committed file's shape.
+        let text = "{\n  \"benches\": [\n    {\"name\": \"g/a\", \"mean_ns\": 120, \"min_ns\": 100, \"samples\": 10},\n    garbage\n    {\"name\": \"g/b\", \"mean_ns\": 7, \"min_ns\": 5, \"samples\": 3}\n  ]\n}\n";
+        let entries = parse_ledger(text);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].name, "g/a");
+        assert_eq!(entries[0].mean_ns, 120);
+        assert_eq!(entries[0].min_ns, 100);
+        assert_eq!(entries[1].name, "g/b");
+        assert_eq!(entries[1].mean_ns, 7);
+    }
+
+    #[test]
+    fn gate_flags_only_regressions_beyond_the_factor() {
+        let baseline = vec![entry("g/fast", 100), entry("g/slow", 100), entry("g/gone", 50)];
+        let fresh = vec![
+            entry("g/fast", 180),   // 1.8x: within a 2x gate
+            entry("g/slow", 250),   // 2.5x: regression
+            entry("g/new", 10_000), // no baseline: informational
+        ];
+        let report = gate(&baseline, &fresh, "g/");
+        assert_eq!(report.compared.len(), 2);
+        assert_eq!(report.new_entries, vec!["g/new".to_string()]);
+        assert_eq!(report.missing_entries, vec!["g/gone".to_string()]);
+        assert!(!report.passes(2.0));
+        let regressions = report.regressions(2.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "g/slow");
+        assert!((regressions[0].ratio - 2.5).abs() < 1e-9);
+        // A looser gate passes.
+        assert!(report.passes(3.0));
+        // The prefix filters unrelated groups.
+        let other = gate(&baseline, &fresh, "other/");
+        assert!(other.compared.is_empty() && other.new_entries.is_empty());
+    }
+
+    #[test]
+    fn zero_baseline_does_not_divide_by_zero() {
+        let report = gate(&[entry("g/x", 0)], &[entry("g/x", 10)], "");
+        assert!((report.compared[0].ratio - 1.0).abs() < f64::EPSILON);
+        assert!(report.passes(2.0));
+    }
+
+    #[test]
+    fn comparison_display_is_informative() {
+        let comparison = Comparison {
+            name: "g/x".to_string(),
+            baseline_mean_ns: 100,
+            fresh_mean_ns: 250,
+            ratio: 2.5,
+        };
+        let text = comparison.to_string();
+        assert!(text.contains("g/x"));
+        assert!(text.contains("2.50x"));
+        assert!(comparison.regressed(2.0));
+    }
+}

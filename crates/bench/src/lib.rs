@@ -8,6 +8,8 @@
 
 use esram_diag::Soc;
 
+pub mod ledger;
+
 /// Prints a section header for a regenerated table.
 pub fn print_section(title: &str) {
     println!("\n================================================================");

@@ -2,11 +2,12 @@
 //! March CW and NWRTM-based data-retention diagnosis.
 
 use crate::components::{AddressTrigger, ComparatorArray, DataBackgroundGenerator, MemorySizeTable};
+use crate::population::GoldenStore;
 use crate::result::DiagnosisResult;
 use crate::scheme::{DiagnosisScheme, MemoryUnderDiagnosis};
 use march::{algorithms, AddressOrder, DataBackground, MarchElement, MarchOp, MarchSchedule};
 use serial::{ParallelToSerialConverter, PatternDeliveryBus, ShiftOrder};
-use sram_model::{Address, DataWord, MemError};
+use sram_model::{Address, DataWord, MemConfig, MemError, MemoryId, MemoryPort, Sram};
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -125,33 +126,71 @@ impl DiagnosisScheme for FastScheme {
     }
 
     fn diagnose(&self, memories: &mut [MemoryUnderDiagnosis]) -> Result<DiagnosisResult, MemError> {
+        let mut members: Vec<(MemoryId, &mut Sram)> =
+            memories.iter_mut().map(|m| (m.id, &mut m.sram)).collect();
+        self.diagnose_ports(&mut members)
+    }
+}
+
+/// Mutable state of one population diagnosis run, grouped so the
+/// per-operation loops can split-borrow its fields (memories vs golden
+/// store vs PSCs vs comparator).
+#[derive(Debug)]
+struct PopulationRun<'a, M> {
+    memories: &'a mut [(MemoryId, M)],
+    golden: GoldenStore,
+    pscs: Vec<ParallelToSerialConverter>,
+    comparator: ComparatorArray,
+    trigger: AddressTrigger,
+}
+
+impl FastScheme {
+    /// Diagnoses a population presented as `(id, memory)` pairs over any
+    /// [`MemoryPort`] implementation.
+    ///
+    /// This is the generic core [`DiagnosisScheme::diagnose`] wraps (the
+    /// packed population case); the dense-vs-packed equivalence suite
+    /// drives it with [`sram_model::ReferenceSram`] populations to prove
+    /// the scheme observes identical diagnoses on both memory models.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on memory-model validation failures (which
+    /// indicate a bug in the scheme, not in the population).
+    pub fn diagnose_ports<M: MemoryPort>(
+        &self,
+        memories: &mut [(MemoryId, M)],
+    ) -> Result<DiagnosisResult, MemError> {
         assert!(!memories.is_empty(), "diagnosis needs at least one memory");
 
-        let table: MemorySizeTable = memories.iter().map(|m| (m.id, m.config())).collect();
+        let table: MemorySizeTable = memories.iter().map(|(id, m)| (*id, m.config())).collect();
         let n_max = table.max_words();
         let c_max = table.max_width();
-        let trigger = AddressTrigger::new(n_max);
         let generator = DataBackgroundGenerator::new(c_max);
-        let widths: Vec<usize> = memories.iter().map(|m| m.config().width()).collect();
+        let widths: Vec<usize> = memories.iter().map(|(_, m)| m.config().width()).collect();
+        let configs: Vec<MemConfig> = memories.iter().map(|(_, m)| m.config()).collect();
         let schedule = self.schedule(c_max);
+        let backgrounds: Vec<DataBackground> =
+            schedule.phases().iter().map(|phase| phase.background).collect();
 
-        let mut comparator = ComparatorArray::new();
         let mut cycles: u64 = 0;
         let mut pause_ms: f64 = 0.0;
+        let mut run = PopulationRun {
+            memories,
+            // Golden (expected) contents of the whole population, held
+            // as shared per-word-count value planes plus one pattern set
+            // per background — not one `Vec<DataWord>` per memory.
+            golden: GoldenStore::new(&configs, &generator, &backgrounds),
+            pscs: widths
+                .iter()
+                .map(|&w| ParallelToSerialConverter::new(w))
+                .collect(),
+            comparator: ComparatorArray::new(),
+            trigger: AddressTrigger::new(n_max),
+        };
+        let representatives = run.golden.width_class_representatives();
 
-        // Golden (expected) contents per memory, maintained by the
-        // controller using its memory-size table so that wrapped-around
-        // operations on smaller memories are tolerated.
-        let mut golden: Vec<Vec<DataWord>> = memories
-            .iter()
-            .map(|m| vec![DataWord::zero(m.config().width()); m.config().words() as usize])
-            .collect();
-        let mut pscs: Vec<ParallelToSerialConverter> = widths
-            .iter()
-            .map(|&w| ParallelToSerialConverter::new(w))
-            .collect();
-
-        for phase in schedule.phases() {
+        for (phase_index, phase) in schedule.phases().iter().enumerate() {
             let background = phase.background;
             for (element_index, element) in phase.test.elements().iter().enumerate() {
                 let label = element
@@ -162,26 +201,29 @@ impl DiagnosisScheme for FastScheme {
                 // Retention pauses apply once per element, to every memory.
                 let element_pause = element.pause_ms();
                 if element_pause > 0 {
-                    for memory in memories.iter_mut() {
-                        memory.sram.elapse_retention(element_pause as f64);
+                    for (_, memory) in run.memories.iter_mut() {
+                        memory.elapse_retention(element_pause as f64);
                     }
                     pause_ms += element_pause as f64;
                 }
 
                 // Serial pattern delivery: one broadcast per distinct write
                 // value used by the element, through the shared bus and the
-                // per-memory SPCs.
-                let delivered = self.deliver_patterns(element, background, &generator, &widths, &mut cycles);
-
-                cycles += self.run_element(
-                    memories,
-                    &mut golden,
-                    &mut pscs,
-                    &mut comparator,
-                    &trigger,
-                    &generator,
+                // per-memory SPCs (materialised once per distinct width).
+                let delivered = self.deliver_patterns(
                     element,
                     background,
+                    &generator,
+                    &widths,
+                    &representatives,
+                    &mut cycles,
+                );
+
+                cycles += self.run_element(
+                    &mut run,
+                    phase_index,
+                    background,
+                    element,
                     &label,
                     &delivered,
                     c_max,
@@ -191,24 +233,25 @@ impl DiagnosisScheme for FastScheme {
 
         Ok(DiagnosisResult {
             scheme: self.name().to_string(),
-            log: comparator.into_log(),
+            log: run.comparator.into_log(),
             cycles,
             pause_ms,
             iterations: 1,
             clock_period_ns: self.clock_period_ns,
         })
     }
-}
 
-impl FastScheme {
     /// Broadcasts the patterns an element needs and returns, per logical
-    /// write value, the words each memory's SPC presents.
+    /// write value, the word each *width class* of SPCs presents (all
+    /// SPCs of one width capture identical bits, so one materialisation
+    /// per distinct width serves the whole population).
     fn deliver_patterns(
         &self,
         element: &MarchElement,
         background: DataBackground,
         generator: &DataBackgroundGenerator,
         widths: &[usize],
+        representatives: &[usize],
         cycles: &mut u64,
     ) -> BTreeMap<bool, Vec<DataWord>> {
         let mut delivered = BTreeMap::new();
@@ -226,8 +269,11 @@ impl FastScheme {
             let mut bus = PatternDeliveryBus::with_order(widths, self.shift_order);
             let pattern = generator.pattern(background, value);
             *cycles += bus.broadcast(&pattern);
-            let received: Vec<DataWord> = (0..widths.len()).map(|i| bus.pattern_at(i)).collect();
-            delivered.insert(value, received);
+            let per_width_class: Vec<DataWord> = representatives
+                .iter()
+                .map(|&member| bus.pattern_at(member))
+                .collect();
+            delivered.insert(value, per_width_class);
         }
         delivered
     }
@@ -248,40 +294,26 @@ impl FastScheme {
 
     /// Runs one March element over the whole population in lock step and
     /// returns the clock cycles it consumed (excluding pattern delivery).
+    ///
+    /// Per write operation the golden store updates one value-plane bit
+    /// per distinct word count; per read the expectation is borrowed
+    /// from the per-background pattern matrix — no golden words are
+    /// cloned or compared per memory anywhere in this loop.
     #[allow(clippy::too_many_arguments)]
-    fn run_element(
+    fn run_element<M: MemoryPort>(
         &self,
-        memories: &mut [MemoryUnderDiagnosis],
-        golden: &mut [Vec<DataWord>],
-        pscs: &mut [ParallelToSerialConverter],
-        comparator: &mut ComparatorArray,
-        trigger: &AddressTrigger,
-        generator: &DataBackgroundGenerator,
-        element: &MarchElement,
+        run: &mut PopulationRun<'_, M>,
+        phase_index: usize,
         background: DataBackground,
+        element: &MarchElement,
         label: &str,
         delivered: &BTreeMap<bool, Vec<DataWord>>,
         c_max: usize,
     ) -> Result<u64, MemError> {
         let addresses: Vec<Address> = match element.order {
-            AddressOrder::Ascending | AddressOrder::Either => trigger.ascending().collect(),
-            AddressOrder::Descending => trigger.descending().collect(),
+            AddressOrder::Ascending | AddressOrder::Either => run.trigger.ascending().collect(),
+            AddressOrder::Descending => run.trigger.descending().collect(),
         };
-
-        // The controller's expectation per write value and memory: the
-        // intended background bits for that memory. Precomputed once per
-        // element so the per-operation loop below is allocation-free
-        // (`clone_from` reuses each golden word's limb buffer).
-        let expected_by_value: BTreeMap<bool, Vec<DataWord>> = delivered
-            .keys()
-            .map(|&value| {
-                let per_memory = memories
-                    .iter()
-                    .map(|m| generator.pattern_for_width(background, value, m.config().width()))
-                    .collect();
-                (value, per_memory)
-            })
-            .collect();
 
         for global in addresses {
             for op in &element.ops {
@@ -289,39 +321,41 @@ impl FastScheme {
                     MarchOp::Pause(_) => {}
                     MarchOp::Write(value) | MarchOp::NwrcWrite(value) => {
                         let nwrc = op.is_nwrc();
-                        for (index, memory) in memories.iter_mut().enumerate() {
-                            let config = memory.config();
-                            let local = trigger.local_address(global, config.words());
-                            let data = &delivered[value][index];
+                        // NWRC writes succeed on good cells, so the
+                        // expectation matches a normal write.
+                        run.golden.record_write(phase_index, global, *value);
+                        let per_width_class = &delivered[value];
+                        for (index, (_, memory)) in run.memories.iter_mut().enumerate() {
+                            let local = run.trigger.local_address(global, run.golden.member_words(index));
+                            let data = &per_width_class[run.golden.member_width_class(index)];
                             if nwrc {
-                                memory.sram.write_nwrc(local, data)?;
+                                memory.write_nwrc(local, data)?;
                             } else {
-                                memory.sram.write(local, data)?;
+                                memory.write(local, data)?;
                             }
-                            // NWRC writes succeed on good cells, so the
-                            // expectation is the same as for a normal write.
-                            golden[index][local.index() as usize]
-                                .clone_from(&expected_by_value[value][index]);
                         }
                     }
                     MarchOp::Read(_) => {
-                        for (index, memory) in memories.iter_mut().enumerate() {
-                            let config = memory.config();
-                            let local = trigger.local_address(global, config.words());
-                            let observed = memory.sram.read(local)?;
+                        for (index, (id, memory)) in run.memories.iter_mut().enumerate() {
+                            let local = run.trigger.local_address(global, run.golden.member_words(index));
+                            let observed = memory.read(local)?;
                             // Capture into the PSC and shift the response
                             // back to the controller while the memory idles.
-                            let (bits, _) = pscs[index].serialize(&observed);
-                            let received = ParallelToSerialConverter::word_from_serial(&bits);
-                            let expected = &golden[index][local.index() as usize];
-                            comparator.compare(memory.id, local, background, label, expected, &received);
+                            let (received, _) = run.pscs[index].serialize_word(&observed);
+                            let expected = run.golden.expected_at(index, local);
+                            run.comparator
+                                .compare(*id, local, background, label, expected, &received);
                         }
                     }
                     _ => {}
                 }
             }
         }
-        Ok(FastScheme::element_cycles(element, trigger.max_words(), c_max))
+        Ok(FastScheme::element_cycles(
+            element,
+            run.trigger.max_words(),
+            c_max,
+        ))
     }
 }
 

@@ -5,7 +5,7 @@ use crate::components::MemorySizeTable;
 use crate::log::{DiagnosisLog, DiagnosisRecord};
 use crate::result::DiagnosisResult;
 use crate::scheme::{DiagnosisScheme, MemoryUnderDiagnosis};
-use march::{algorithms, DataBackground, MarchElement, MarchTest};
+use march::{algorithms, BackgroundPatterns, DataBackground, MarchElement, MarchTest};
 use serial::{BidirectionalSerialInterface, ShiftDirection};
 use sram_model::{Address, MemError, MemoryId};
 use std::collections::{BTreeMap, BTreeSet};
@@ -90,6 +90,19 @@ impl DiagnosisScheme for HuangScheme {
         let mut cycles: u64 = 0;
         let mut pause_ms: f64 = 0.0;
 
+        // The solid-background pattern words depend only on a memory's
+        // IO width, so one set per distinct width serves every memory of
+        // the population across every iteration — instead of each
+        // element execution reassembling its own pattern words per
+        // memory per pass.
+        let width_patterns: BTreeMap<usize, BackgroundPatterns> = memories
+            .iter()
+            .map(|m| m.config().width())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .map(|width| (width, DataBackground::Solid.patterns(width)))
+            .collect();
+
         // Iterate the M1 element group: each iteration can locate at most
         // one new fault per memory and per shift direction, so iteration
         // continues until a full pass finds nothing new anywhere.
@@ -100,8 +113,15 @@ impl DiagnosisScheme for HuangScheme {
             cycles += m1.complexity_per_address() as u64 * n_max * c_max;
             let mut found_new = false;
             for memory in memories.iter_mut() {
-                let found =
-                    run_group_serially(memory, &m1, &mut log, known.entry(memory.id).or_default(), 2)?;
+                let patterns = &width_patterns[&memory.config().width()];
+                let found = run_group_serially(
+                    memory,
+                    &m1,
+                    patterns,
+                    &mut log,
+                    known.entry(memory.id).or_default(),
+                    2,
+                )?;
                 found_new |= found > 0;
             }
             if !found_new || iterations >= self.max_iterations {
@@ -114,9 +134,11 @@ impl DiagnosisScheme for HuangScheme {
         let base = algorithms::diag_rs_march_base();
         cycles += base.complexity_per_address() as u64 * n_max * c_max;
         for memory in memories.iter_mut() {
+            let patterns = &width_patterns[&memory.config().width()];
             run_group_serially(
                 memory,
                 &base,
+                patterns,
                 &mut log,
                 known.entry(memory.id).or_default(),
                 usize::MAX,
@@ -133,9 +155,11 @@ impl DiagnosisScheme for HuangScheme {
                 cycles += 8 * n_max * c_max;
                 let mut found_new = false;
                 for memory in memories.iter_mut() {
+                    let patterns = &width_patterns[&memory.config().width()];
                     let found = run_group_serially(
                         memory,
                         &drf_test,
+                        patterns,
                         &mut log,
                         known.entry(memory.id).or_default(),
                         2,
@@ -170,9 +194,12 @@ fn retention_identification_test(pause_ms: u32) -> MarchTest {
 /// interface of one memory, locating at most `per_direction_budget` new
 /// faults per shift direction, and returns how many new faults were
 /// located. Located faults are appended to `known` and to the global log.
+/// `patterns` is the population-shared pattern set for this memory's
+/// width.
 fn run_group_serially(
     memory: &mut MemoryUnderDiagnosis,
     test: &MarchTest,
+    patterns: &BackgroundPatterns,
     log: &mut DiagnosisLog,
     known: &mut BTreeSet<(Address, usize)>,
     per_direction_budget: usize,
@@ -191,8 +218,7 @@ fn run_group_serially(
         } else {
             ShiftDirection::Left
         };
-        let outcome =
-            interface.run_element(&mut memory.sram, element, DataBackground::Solid, direction, known)?;
+        let outcome = interface.run_element_with(&mut memory.sram, element, patterns, direction, known)?;
         if let Some((address, bit)) = outcome.located {
             let budget_used = match direction {
                 ShiftDirection::Right => &mut found_right,

@@ -48,6 +48,7 @@ pub mod components;
 pub mod fast;
 pub mod huang;
 pub mod log;
+pub mod population;
 pub mod result;
 pub mod scheme;
 
@@ -55,5 +56,6 @@ pub use components::{AddressTrigger, ComparatorArray, DataBackgroundGenerator, M
 pub use fast::{DrfMode, FastScheme};
 pub use huang::HuangScheme;
 pub use log::{DiagnosisLog, DiagnosisRecord, FaultSite};
+pub use population::GoldenStore;
 pub use result::DiagnosisResult;
 pub use scheme::{DiagnosisScheme, MemoryUnderDiagnosis};

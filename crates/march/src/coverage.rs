@@ -71,6 +71,22 @@ impl CoverageReport {
         }
     }
 
+    /// Folds another report's statistics into this one, class by class
+    /// (the report name is kept from `self`).
+    ///
+    /// Merging is associative and commutative over the counters, so
+    /// per-shard reports produced by parallel universe simulation fold
+    /// into exactly the report a sequential run would have produced,
+    /// regardless of shard boundaries or fold order.
+    pub fn merge(&mut self, other: &CoverageReport) {
+        for (class, coverage) in other.classes() {
+            let entry = self.classes.entry(class).or_default();
+            entry.total += coverage.total;
+            entry.detected += coverage.detected;
+            entry.located += coverage.located;
+        }
+    }
+
     /// Per-class statistics in class order.
     pub fn classes(&self) -> impl Iterator<Item = (FaultClass, ClassCoverage)> + '_ {
         self.classes.iter().map(|(&class, &coverage)| (class, coverage))
@@ -191,6 +207,44 @@ mod tests {
         assert!((report.detection_coverage() - 2.0 / 3.0).abs() < 1e-12);
         assert!((report.location_coverage() - 1.0 / 3.0).abs() < 1e-12);
         assert!(report.class(FaultClass::Coupling).is_none());
+    }
+
+    #[test]
+    fn merge_folds_counters_associatively() {
+        let mut left = CoverageReport::new("shard 0");
+        left.record(FaultClass::StuckAt, true, true);
+        left.record(FaultClass::Coupling, false, false);
+        let mut right = CoverageReport::new("shard 1");
+        right.record(FaultClass::StuckAt, true, false);
+        right.record(FaultClass::DataRetention, true, true);
+
+        let mut sequential = CoverageReport::new("shard 0");
+        for (class, detected, located) in [
+            (FaultClass::StuckAt, true, true),
+            (FaultClass::Coupling, false, false),
+            (FaultClass::StuckAt, true, false),
+            (FaultClass::DataRetention, true, true),
+        ] {
+            sequential.record(class, detected, located);
+        }
+
+        let mut merged = left.clone();
+        merged.merge(&right);
+        assert_eq!(merged, sequential);
+        assert_eq!(merged.name(), "shard 0");
+
+        // Fold order does not matter for the counters.
+        let mut reversed = CoverageReport::new("shard 0");
+        reversed.merge(&right);
+        reversed.merge(&left);
+        assert_eq!(reversed.total(), merged.total());
+        assert_eq!(reversed.detected(), merged.detected());
+        assert_eq!(reversed.located(), merged.located());
+
+        // Merging an empty report is the identity.
+        let before = merged.clone();
+        merged.merge(&CoverageReport::new("empty"));
+        assert_eq!(merged, before);
     }
 
     #[test]

@@ -7,9 +7,9 @@
 //! fault information a scheme extracts through its serial access fabric
 //! must agree with what a direct word-wide run observes.
 
-use crate::background::DataBackground;
+use crate::background::{BackgroundPatterns, DataBackground};
 use crate::ops::{AddressOrder, MarchOp, MarchTest};
-use crate::schedule::MarchSchedule;
+use crate::schedule::{MarchSchedule, SchedulePatterns};
 use sram_model::{Address, DataWord, MemError, MemoryPort};
 
 /// One observed read mismatch.
@@ -115,7 +115,10 @@ impl MarchRunner {
         test: &MarchTest,
         background: DataBackground,
     ) -> Result<RunOutcome, MemError> {
-        self.run_test_phase(sram, test, background, 0)
+        // Patterns depend only on (value, row parity); precompute them
+        // once so the per-operation loop is allocation-free.
+        let patterns = background.patterns(sram.config().width());
+        self.run_test_phase(sram, test, background, 0, &patterns, None)
     }
 
     /// Runs a multi-background schedule phase by phase.
@@ -128,13 +131,74 @@ impl MarchRunner {
         sram: &mut M,
         schedule: &MarchSchedule,
     ) -> Result<RunOutcome, MemError> {
+        let patterns = SchedulePatterns::new(schedule, sram.config().width());
+        self.run_schedule_with(sram, schedule, &patterns)
+    }
+
+    /// Runs a schedule with pattern words precomputed by the caller
+    /// (see [`SchedulePatterns`]) — the batched entry point: one
+    /// pattern build serves a whole fault universe.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory-model validation errors.
+    pub fn run_schedule_with<M: MemoryPort>(
+        &self,
+        sram: &mut M,
+        schedule: &MarchSchedule,
+        patterns: &SchedulePatterns,
+    ) -> Result<RunOutcome, MemError> {
+        self.run_schedule_inner(sram, schedule, patterns, None)
+    }
+
+    /// Runs a schedule visiting only `address` in every element sweep.
+    ///
+    /// Element structure, phase order and retention pauses are executed
+    /// exactly as in a full run — only the address sweeps are restricted
+    /// — so the visited row experiences the identical operation sequence
+    /// it would in a whole-memory run. This is the engine half of the
+    /// simulator's fault-locality pruning: for a fault confined to one
+    /// row of a memory whose fault-free run is known to pass, the
+    /// restricted run observes exactly the failures of the full run.
+    ///
+    /// The returned outcome's `operations` count covers only the visited
+    /// address; callers accounting for a whole memory substitute the
+    /// closed form `schedule.operation_count(words)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory-model validation errors.
+    pub fn run_schedule_at<M: MemoryPort>(
+        &self,
+        sram: &mut M,
+        schedule: &MarchSchedule,
+        patterns: &SchedulePatterns,
+        address: Address,
+    ) -> Result<RunOutcome, MemError> {
+        self.run_schedule_inner(sram, schedule, patterns, Some(address))
+    }
+
+    fn run_schedule_inner<M: MemoryPort>(
+        &self,
+        sram: &mut M,
+        schedule: &MarchSchedule,
+        patterns: &SchedulePatterns,
+        restrict: Option<Address>,
+    ) -> Result<RunOutcome, MemError> {
         let mut outcome = RunOutcome {
             failures: Vec::new(),
             operations: 0,
             pause_ms: 0.0,
         };
         for (phase_index, phase) in schedule.phases().iter().enumerate() {
-            let phase_outcome = self.run_test_phase(sram, &phase.test, phase.background, phase_index)?;
+            let phase_outcome = self.run_test_phase(
+                sram,
+                &phase.test,
+                phase.background,
+                phase_index,
+                patterns.phase(phase_index),
+                restrict,
+            )?;
             outcome.merge(phase_outcome);
         }
         Ok(outcome)
@@ -146,12 +210,10 @@ impl MarchRunner {
         test: &MarchTest,
         background: DataBackground,
         phase: usize,
+        patterns: &BackgroundPatterns,
+        restrict: Option<Address>,
     ) -> Result<RunOutcome, MemError> {
         let config = sram.config();
-        let width = config.width();
-        // Patterns depend only on (value, row parity); precompute them
-        // once so the per-operation loop is allocation-free.
-        let patterns = background.patterns(width);
         let mut failures = Vec::new();
         let mut operations: u64 = 0;
         let mut pause_ms = 0.0;
@@ -165,9 +227,12 @@ impl MarchRunner {
                 }
             }
 
-            let addresses: Vec<Address> = match element.order {
-                AddressOrder::Ascending | AddressOrder::Either => config.addresses().collect(),
-                AddressOrder::Descending => config.addresses_descending().collect(),
+            let addresses: Vec<Address> = match restrict {
+                Some(address) => vec![address],
+                None => match element.order {
+                    AddressOrder::Ascending | AddressOrder::Either => config.addresses().collect(),
+                    AddressOrder::Descending => config.addresses_descending().collect(),
+                },
             };
 
             for address in addresses {

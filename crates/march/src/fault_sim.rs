@@ -10,19 +10,38 @@
 //! fault classes, and only the NWRTM-merged variant reaches
 //! data-retention faults.
 //!
-//! Whole-universe simulation is *batched*: one reusable packed memory
-//! is `reset` and re-injected per fault ([`FaultSimulator::simulate_universe`]),
-//! and the schedule is built once per call and borrowed per fault —
-//! there is no per-fault `Sram` construction or March-programme clone
-//! left on the hot path.
+//! Whole-universe simulation is *batched*, *pruned* and *sharded*:
+//!
+//! * **Batched** — one reusable packed memory is `reset` and
+//!   re-injected per fault, the schedule's pattern words are built once
+//!   per universe ([`SchedulePatterns`]) and borrowed by every run;
+//!   there is no per-fault `Sram` construction, programme clone or
+//!   pattern rebuild on the hot path.
+//! * **Pruned** — a fault confined to a single row (stuck-at,
+//!   transition, retention, read-disturb) only needs that row swept:
+//!   if a golden fault-free run of the schedule passes, reads of every
+//!   other row match by construction, so the simulator restricts the
+//!   address sweeps to the faulty row ([`MarchRunner::run_schedule_at`])
+//!   and substitutes the closed-form operation count. Faults with
+//!   cross-row behaviour (coupling, stuck-open sense-amp history,
+//!   decoder faults) and schedules whose golden run fails take the full
+//!   sweep, so outcomes are observationally identical either way —
+//!   which the one-off [`FaultSimulator::simulate_fault_schedule`]
+//!   oracle and the sharded-determinism suite assert.
+//! * **Sharded** — the universe is chunked ([`FaultList::chunks`]) over
+//!   `std::thread::scope` workers, one reusable `Sram` per worker
+//!   ([`ShardPlan`], default = available cores, env-overridable), and
+//!   the per-shard outcome vectors are concatenated back into exact
+//!   universe order; per-shard [`CoverageReport`]s fold associatively.
 
 use crate::background::DataBackground;
 use crate::coverage::CoverageReport;
 use crate::engine::{MarchRunner, RunOutcome};
 use crate::ops::MarchTest;
-use crate::schedule::{MarchSchedule, SchedulePhase};
+use crate::schedule::{MarchSchedule, SchedulePatterns, SchedulePhase};
+use crate::shard::ShardPlan;
 use fault_models::{FaultList, MemoryFault};
-use sram_model::{MemConfig, Sram};
+use sram_model::{Address, CellFault, MemConfig, Sram};
 
 /// Outcome of simulating one fault instance against one programme.
 #[derive(Debug, Clone, PartialEq)]
@@ -41,6 +60,22 @@ pub struct FaultSimOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultSimulator {
     config: MemConfig,
+}
+
+/// Per-universe shared state, built once and borrowed by every shard
+/// worker: the schedule, its precomputed pattern words, and the golden
+/// fault-free run's verdict that gates single-row pruning.
+#[derive(Debug)]
+struct UniversePrep<'a> {
+    schedule: &'a MarchSchedule,
+    patterns: SchedulePatterns,
+    /// True if a pristine memory passes the schedule — the precondition
+    /// under which reads of fault-free rows are guaranteed to match and
+    /// single-row faults may skip every other row's sweep.
+    golden_passed: bool,
+    /// Operation count of a full run (closed form, identical for every
+    /// fault), substituted into pruned outcomes.
+    full_operations: u64,
 }
 
 impl FaultSimulator {
@@ -69,28 +104,101 @@ impl FaultSimulator {
         self.simulate_fault_schedule(&schedule, fault)
     }
 
-    /// Simulates one fault against a multi-background schedule.
+    /// Simulates one fault against a multi-background schedule on a
+    /// fresh memory, always running the full address sweeps.
+    ///
+    /// This is the *unpruned oracle*: the batched universe entry points
+    /// skip the sweeps a single-row fault cannot influence, and the
+    /// regression suite asserts their outcomes equal this one's.
     pub fn simulate_fault_schedule(&self, schedule: &MarchSchedule, fault: &MemoryFault) -> FaultSimOutcome {
         let mut sram = Sram::new(self.config);
-        self.simulate_fault_batched(&mut sram, schedule, fault)
+        let patterns = SchedulePatterns::new(schedule, self.config.width());
+        sram.reset();
+        fault
+            .inject_into(&mut sram)
+            .expect("fault universe must match the simulator geometry");
+        let run = MarchRunner::new()
+            .run_schedule_with(&mut sram, schedule, &patterns)
+            .expect("march programme must match the simulator geometry");
+        self.classify(fault, run)
+    }
+
+    /// Builds the per-universe shared state: the precomputed pattern
+    /// words and the golden fault-free run that gates pruning.
+    fn prepare<'a>(&self, schedule: &'a MarchSchedule) -> UniversePrep<'a> {
+        let patterns = SchedulePatterns::new(schedule, self.config.width());
+        let mut pristine = Sram::new(self.config);
+        let golden = MarchRunner::new()
+            .run_schedule_with(&mut pristine, schedule, &patterns)
+            .expect("march programme must match the simulator geometry");
+        UniversePrep {
+            schedule,
+            patterns,
+            golden_passed: golden.passed(),
+            full_operations: golden.operations,
+        }
+    }
+
+    /// The single row a fault's observable behaviour is confined to, if
+    /// any — the pruning eligibility test.
+    ///
+    /// Only fault models whose behaviour depends exclusively on the
+    /// operations addressed to their own cell qualify. Coupling faults
+    /// (a second site, order-sensitive across rows), stuck-open faults
+    /// (the observation replays the sense-amp history left by *other*
+    /// rows' reads), decoder faults (whole-address-space behaviour) and
+    /// any future variant take the full sweep.
+    fn prunable_row(fault: &MemoryFault) -> Option<Address> {
+        match fault {
+            MemoryFault::Cell { coord, fault } => match fault {
+                CellFault::StuckAt(_)
+                | CellFault::TransitionUp
+                | CellFault::TransitionDown
+                | CellFault::DataRetention { .. }
+                | CellFault::ReadDestructive
+                | CellFault::DeceptiveReadDestructive
+                | CellFault::IncorrectRead => Some(coord.address),
+                _ => None,
+            },
+            MemoryFault::Decoder(_) => None,
+        }
     }
 
     /// Simulates one fault on a reusable memory: resets it to the
     /// pristine background, injects the fault and runs the borrowed
-    /// schedule. The hot inner step of every batched entry point.
+    /// schedule — restricted to the faulty row when the fault qualifies
+    /// and the golden run passed. The hot inner step of every batched
+    /// entry point.
     fn simulate_fault_batched(
         &self,
         sram: &mut Sram,
-        schedule: &MarchSchedule,
+        prep: &UniversePrep<'_>,
         fault: &MemoryFault,
     ) -> FaultSimOutcome {
         sram.reset();
         fault
             .inject_into(sram)
             .expect("fault universe must match the simulator geometry");
-        let run = MarchRunner::new()
-            .run_schedule(sram, schedule)
-            .expect("march programme must match the simulator geometry");
+        let runner = MarchRunner::new();
+        let run = match Self::prunable_row(fault).filter(|_| prep.golden_passed) {
+            Some(row) => {
+                let mut run = runner
+                    .run_schedule_at(sram, prep.schedule, &prep.patterns, row)
+                    .expect("march programme must match the simulator geometry");
+                // The restricted sweep performed only this row's share of
+                // the operations; report the whole memory's count, as the
+                // full run would.
+                run.operations = prep.full_operations;
+                run
+            }
+            None => runner
+                .run_schedule_with(sram, prep.schedule, &prep.patterns)
+                .expect("march programme must match the simulator geometry"),
+        };
+        self.classify(fault, run)
+    }
+
+    fn classify(&self, fault: &MemoryFault, run: RunOutcome) -> FaultSimOutcome {
         let detected = !run.passed();
         let located = detected && self.locates(fault, &run);
         FaultSimOutcome {
@@ -101,16 +209,56 @@ impl FaultSimulator {
         }
     }
 
-    /// Simulates every fault of a universe against a schedule, one fault
-    /// at a time, reusing a single packed memory (`reset` + inject per
-    /// fault instead of a fresh `Sram` per fault). Outcomes are returned
-    /// in universe order.
+    /// Simulates every fault of a universe against a schedule with the
+    /// default [`ShardPlan`] (available cores, overridable through the
+    /// [`crate::shard::THREADS_ENV`] environment variable). Outcomes are
+    /// returned in exact universe order regardless of the plan.
     pub fn simulate_universe(&self, schedule: &MarchSchedule, universe: &FaultList) -> Vec<FaultSimOutcome> {
-        let mut sram = Sram::new(self.config);
-        universe
-            .iter()
-            .map(|fault| self.simulate_fault_batched(&mut sram, schedule, fault))
-            .collect()
+        self.simulate_universe_with(ShardPlan::default(), schedule, universe)
+    }
+
+    /// Simulates every fault of a universe under an explicit shard plan.
+    ///
+    /// The universe is split into contiguous chunks, each simulated by a
+    /// worker owning one reusable packed memory (`reset` + inject per
+    /// fault); the per-shard outcome vectors are concatenated back in
+    /// chunk order, so the result is byte-identical to the sequential
+    /// (1-thread) run for every plan.
+    pub fn simulate_universe_with(
+        &self,
+        plan: ShardPlan,
+        schedule: &MarchSchedule,
+        universe: &FaultList,
+    ) -> Vec<FaultSimOutcome> {
+        let prep = self.prepare(schedule);
+        if plan.shard_count(universe.len()) <= 1 {
+            let mut sram = Sram::new(self.config);
+            return universe
+                .iter()
+                .map(|fault| self.simulate_fault_batched(&mut sram, &prep, fault))
+                .collect();
+        }
+        let prep = &prep;
+        let chunk_size = plan.chunk_size(universe.len());
+        std::thread::scope(|scope| {
+            let workers: Vec<_> = universe
+                .chunks(chunk_size)
+                .map(|shard| {
+                    scope.spawn(move || {
+                        let mut sram = Sram::new(self.config);
+                        shard
+                            .iter()
+                            .map(|fault| self.simulate_fault_batched(&mut sram, prep, fault))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            let mut outcomes = Vec::with_capacity(universe.len());
+            for worker in workers {
+                outcomes.extend(worker.join().expect("fault-simulation shard worker panicked"));
+            }
+            outcomes
+        })
     }
 
     fn locates(&self, fault: &MemoryFault, run: &RunOutcome) -> bool {
@@ -143,11 +291,25 @@ impl FaultSimulator {
         self.coverage_schedule(&schedule, universe)
     }
 
-    /// Coverage of a multi-background schedule over a fault universe
-    /// (batched over one reusable memory).
+    /// Coverage of a multi-background schedule over a fault universe,
+    /// simulated under the default [`ShardPlan`].
     pub fn coverage_schedule(&self, schedule: &MarchSchedule, universe: &FaultList) -> CoverageReport {
+        self.coverage_schedule_with(ShardPlan::default(), schedule, universe)
+    }
+
+    /// Coverage of a schedule over a universe under an explicit shard
+    /// plan. Per-fault outcomes fold into the report associatively, so
+    /// the merged result equals the sequential one for every plan (the
+    /// sharded-determinism suite also folds per-shard reports through
+    /// [`CoverageReport::merge`] and asserts the same).
+    pub fn coverage_schedule_with(
+        &self,
+        plan: ShardPlan,
+        schedule: &MarchSchedule,
+        universe: &FaultList,
+    ) -> CoverageReport {
         let mut report = CoverageReport::new(schedule.name());
-        for outcome in self.simulate_universe(schedule, universe) {
+        for outcome in self.simulate_universe_with(plan, schedule, universe) {
             report.record(outcome.fault.class(), outcome.detected, outcome.located);
         }
         report

@@ -52,10 +52,12 @@ pub mod engine;
 pub mod fault_sim;
 pub mod ops;
 pub mod schedule;
+pub mod shard;
 
 pub use background::{BackgroundPatterns, DataBackground};
 pub use coverage::{ClassCoverage, CoverageReport};
 pub use engine::{FailureRecord, MarchRunner, RunOutcome};
 pub use fault_sim::{FaultSimOutcome, FaultSimulator};
 pub use ops::{AddressOrder, MarchElement, MarchOp, MarchTest};
-pub use schedule::{MarchSchedule, SchedulePhase};
+pub use schedule::{MarchSchedule, SchedulePatterns, SchedulePhase};
+pub use shard::ShardPlan;

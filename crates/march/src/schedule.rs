@@ -5,7 +5,7 @@
 //! under several backgrounds. A [`MarchSchedule`] captures the full
 //! multi-background programme the BISD controller executes.
 
-use crate::background::DataBackground;
+use crate::background::{BackgroundPatterns, DataBackground};
 use crate::ops::MarchTest;
 use std::fmt;
 
@@ -114,6 +114,48 @@ impl MarchSchedule {
             name: name.into(),
             phases,
         }
+    }
+}
+
+/// The per-phase [`BackgroundPatterns`] of one schedule at one IO width,
+/// precomputed once and borrowed by every run.
+///
+/// Batched fault simulation executes the same schedule thousands of
+/// times (once per fault); building the pattern words per run would put
+/// `O(width)` bit assembly back on the hot path, so the simulator builds
+/// a `SchedulePatterns` once per universe and every worker thread
+/// borrows it (the patterns are immutable shared data).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchedulePatterns {
+    phases: Vec<BackgroundPatterns>,
+}
+
+impl SchedulePatterns {
+    /// Precomputes the pattern words of every phase of `schedule` for a
+    /// memory of `width` IO bits.
+    pub fn new(schedule: &MarchSchedule, width: usize) -> Self {
+        SchedulePatterns {
+            phases: schedule
+                .phases()
+                .iter()
+                .map(|phase| phase.background.patterns(width))
+                .collect(),
+        }
+    }
+
+    /// The precomputed patterns of phase `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range (the patterns were built for a
+    /// different schedule).
+    pub fn phase(&self, index: usize) -> &BackgroundPatterns {
+        &self.phases[index]
+    }
+
+    /// Number of phases the patterns were built for.
+    pub fn phase_count(&self) -> usize {
+        self.phases.len()
     }
 }
 

@@ -183,6 +183,78 @@ proptest! {
         }
     }
 
+    /// Multi-fault *interaction chains* behave identically on both
+    /// models: a cascade of coupling faults in which each victim is the
+    /// aggressor of the next (so one write can ripple through several
+    /// cells, including intra-word links), optionally combined with a
+    /// decoder fault redirecting traffic across the cascade and a cell
+    /// fault sitting on one of the chain sites.
+    #[test]
+    fn coupling_cascades_with_decoder_and_cell_combinations_match_reference(
+        words in 4u64..16,
+        width in 2usize..80,
+        chain_len in 2usize..5,
+        which in 0usize..5,
+        decoder_toggle in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        let config = MemConfig::new(words, width).unwrap();
+        let mut rng = FixtureRng::new(seed);
+
+        // Distinct chain sites: site[i] is coupled to aggressor
+        // site[i+1]; the head additionally carries a plain cell fault
+        // half the time, so cascades compose with single-cell defects.
+        let mut sites: Vec<CellCoord> = Vec::new();
+        while sites.len() < chain_len + 1 {
+            let coord = CellCoord::new(
+                Address::new(rng.below(config.words())),
+                rng.below(config.width() as u64) as usize,
+            );
+            if !sites.contains(&coord) {
+                sites.push(coord);
+            }
+        }
+        let mut faults: Vec<MemoryFault> = Vec::new();
+        for pair in sites.windows(2) {
+            let (victim, aggressor) = (pair[0], pair[1]);
+            faults.push(match rng.below(3) {
+                0 => MemoryFault::coupling_idempotent(victim, aggressor, rng_bool(&mut rng), rng_bool(&mut rng)),
+                1 => MemoryFault::coupling_inversion(victim, aggressor, rng_bool(&mut rng)),
+                _ => MemoryFault::coupling_state(victim, aggressor, rng_bool(&mut rng), rng_bool(&mut rng)),
+            });
+        }
+        if rng_bool(&mut rng) {
+            let head = sites[chain_len];
+            faults.push(match rng.below(3) {
+                0 => MemoryFault::stuck_at_1(head),
+                1 => MemoryFault::transition_down(head),
+                _ => MemoryFault::cell(head, CellFault::ReadDestructive),
+            });
+        }
+        if decoder_toggle == 1 {
+            let kind = match rng.below(3) {
+                0 => DecoderFaultKind::NoAccess,
+                1 => DecoderFaultKind::MapsTo(sites[1].address),
+                _ => DecoderFaultKind::AlsoAccesses(sites[1].address),
+            };
+            faults.push(MemoryFault::decoder(DecoderFault::new(sites[0].address, kind)));
+        }
+
+        let (mut packed, mut dense) = build_pair(config, &faults);
+        let schedule = programme(which, width);
+        let runner = MarchRunner::new();
+        let packed_run = runner.run_schedule(&mut packed, &schedule).unwrap();
+        let dense_run = runner.run_schedule(&mut dense, &schedule).unwrap();
+        prop_assert_eq!(&packed_run, &dense_run);
+        for address in config.addresses() {
+            prop_assert_eq!(
+                packed.peek(address).unwrap(),
+                dense.peek(address).unwrap(),
+                "stored contents diverge at {} (chain: {:?})", address, faults
+            );
+        }
+    }
+
     /// The fused `read_expect` port operation agrees with a plain read
     /// followed by a compare, on both models.
     #[test]

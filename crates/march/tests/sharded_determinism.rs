@@ -1,0 +1,159 @@
+//! Sharded and pruned universe simulation must be *observationally
+//! identical* to the sequential, unpruned architecture:
+//!
+//! * for every thread count, `simulate_universe_with` returns
+//!   byte-identical outcomes in exact universe order, and per-shard
+//!   coverage reports fold into the sequential report;
+//! * every batched outcome (which may have taken the single-row pruned
+//!   path) equals the unpruned full-sweep oracle
+//!   [`FaultSimulator::simulate_fault_schedule`];
+//! * schedules whose golden fault-free run fails (so pruning must be
+//!   disabled) still agree with the oracle.
+
+use fault_models::{FaultList, FaultUniverse};
+use march::{
+    algorithms, AddressOrder, CoverageReport, DataBackground, FaultSimulator, MarchElement, MarchOp,
+    MarchSchedule, MarchTest, ShardPlan,
+};
+use sram_model::MemConfig;
+
+fn config() -> MemConfig {
+    MemConfig::new(16, 5).unwrap()
+}
+
+/// A universe mixing every modelled fault class: the four baseline
+/// classes, retention, read-disturb and stuck-open — i.e. both pruning-
+/// eligible (single-row) and fallback (coupling, decoder, stuck-open)
+/// faults.
+fn mixed_universe() -> FaultList {
+    let universe = FaultUniverse::new(config());
+    let mut faults = universe.date2005_baseline();
+    faults.extend(universe.data_retention());
+    faults.extend(universe.read_disturb());
+    faults.extend(universe.stuck_open());
+    faults
+}
+
+/// The fast scheme's production programme: March CW with NWRTM merged
+/// into the last phase (multi-background, NWRC writes).
+fn nwrtm_schedule() -> MarchSchedule {
+    let cw = algorithms::march_cw(config().width());
+    cw.map_last_phase(format!("{} + NWRTM", cw.name()), algorithms::with_nwrtm)
+}
+
+#[test]
+fn outcomes_are_identical_for_every_thread_count() {
+    let sim = FaultSimulator::new(config());
+    let universe = mixed_universe();
+    let schedule = nwrtm_schedule();
+    let sequential = sim.simulate_universe_with(ShardPlan::sequential(), &schedule, &universe);
+    assert_eq!(sequential.len(), universe.len());
+    // Outcomes come back in exact universe order.
+    for (fault, outcome) in universe.iter().zip(&sequential) {
+        assert_eq!(&outcome.fault, fault);
+    }
+    for threads in [2, 3, 5, 32] {
+        let sharded = sim.simulate_universe_with(ShardPlan::with_threads(threads), &schedule, &universe);
+        assert_eq!(
+            sharded, sequential,
+            "sharded outcomes diverged from sequential at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn per_shard_coverage_reports_fold_into_the_sequential_report() {
+    let sim = FaultSimulator::new(config());
+    let universe = mixed_universe();
+    let schedule = nwrtm_schedule();
+    let sequential = sim.coverage_schedule_with(ShardPlan::sequential(), &schedule, &universe);
+
+    for threads in [2, 4, 7] {
+        // The whole-universe sharded report equals the sequential one...
+        let sharded = sim.coverage_schedule_with(ShardPlan::with_threads(threads), &schedule, &universe);
+        assert_eq!(
+            sharded, sequential,
+            "sharded coverage diverged at {threads} threads"
+        );
+
+        // ...and so does an explicit associative fold of per-shard
+        // reports built from chunked fault-list views.
+        let plan = ShardPlan::with_threads(threads);
+        let mut merged = CoverageReport::new(schedule.name());
+        for shard in universe.chunks(plan.chunk_size(universe.len())) {
+            let shard_universe: FaultList = shard.iter().copied().collect();
+            let report = sim.coverage_schedule_with(ShardPlan::sequential(), &schedule, &shard_universe);
+            merged.merge(&report);
+        }
+        assert_eq!(
+            merged, sequential,
+            "merged shard reports diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn batched_pruned_outcomes_match_the_full_sweep_oracle() {
+    let sim = FaultSimulator::new(config());
+    let universe = mixed_universe();
+    for schedule in [
+        nwrtm_schedule(),
+        MarchSchedule::single(algorithms::march_c_minus(), DataBackground::Checkerboard),
+        MarchSchedule::single(
+            algorithms::with_retention_pauses(&algorithms::march_c_minus(), 100),
+            DataBackground::RowStripe,
+        ),
+    ] {
+        let batched = sim.simulate_universe(&schedule, &universe);
+        for (fault, outcome) in universe.iter().zip(&batched) {
+            let oracle = sim.simulate_fault_schedule(&schedule, fault);
+            assert_eq!(
+                &oracle,
+                outcome,
+                "pruned/batched outcome diverged from the full-sweep oracle for {fault} under {}",
+                schedule.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn failing_golden_runs_disable_pruning_and_still_match_the_oracle() {
+    // A programme that reads the inverted background before ever
+    // writing fails on *every* row of a pristine memory. Pruning to the
+    // faulty row would drop the other rows' failures, so the simulator
+    // must detect the failing golden run and fall back to full sweeps.
+    let pathological = MarchTest::new(
+        "read-before-write",
+        vec![
+            MarchElement::new(
+                AddressOrder::Either,
+                vec![MarchOp::Read(true), MarchOp::Write(true), MarchOp::Read(true)],
+            ),
+            MarchElement::new(AddressOrder::Descending, vec![MarchOp::Read(true)]),
+        ],
+    );
+    let schedule = MarchSchedule::single(pathological, DataBackground::Solid);
+    let sim = FaultSimulator::new(config());
+    let universe = FaultUniverse::new(config()).stuck_at();
+
+    let batched = sim.simulate_universe(&schedule, &universe);
+    for (fault, outcome) in universe.iter().zip(&batched) {
+        let oracle = sim.simulate_fault_schedule(&schedule, fault);
+        assert_eq!(&oracle, outcome, "fallback outcome diverged for {fault}");
+        // Every row fails in this programme, not just the faulty one —
+        // proof that the full sweep actually ran.
+        assert!(outcome.run.failing_addresses().len() == config().words() as usize);
+    }
+}
+
+#[test]
+fn default_plan_equals_an_explicit_sequential_run() {
+    let sim = FaultSimulator::new(config());
+    let universe = mixed_universe();
+    let schedule = nwrtm_schedule();
+    assert_eq!(
+        sim.simulate_universe(&schedule, &universe),
+        sim.simulate_universe_with(ShardPlan::sequential(), &schedule, &universe)
+    );
+}

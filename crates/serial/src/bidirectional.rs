@@ -13,7 +13,7 @@
 //! iterate the element until no new fault is found, which is what makes
 //! the baseline's diagnosis time depend on the defect rate.
 
-use march::{DataBackground, MarchElement, MarchOp};
+use march::{BackgroundPatterns, DataBackground, MarchElement, MarchOp};
 use sram_model::{Address, MemError, Sram};
 use std::collections::BTreeSet;
 use std::fmt;
@@ -88,12 +88,36 @@ impl BidirectionalSerialInterface {
         direction: ShiftDirection,
         known_faults: &BTreeSet<(Address, usize)>,
     ) -> Result<SerialElementOutcome, MemError> {
+        // Patterns depend only on (value, row parity): precompute once
+        // so the bit-serial walk stays allocation-free per operation.
+        let patterns = background.patterns(sram.config().width());
+        self.run_element_with(sram, element, &patterns, direction, known_faults)
+    }
+
+    /// Executes one March element bit-serially with pattern words
+    /// precomputed by the caller.
+    ///
+    /// The patterns of a background depend only on the memory's IO
+    /// width, so a diagnosis controller iterating an element group over
+    /// a large population builds one [`BackgroundPatterns`] per distinct
+    /// width and shares it across every memory of that width and every
+    /// iteration — instead of reassembling four pattern words per
+    /// element per memory per iteration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory-model validation errors.
+    pub fn run_element_with(
+        &self,
+        sram: &mut Sram,
+        element: &MarchElement,
+        patterns: &BackgroundPatterns,
+        direction: ShiftDirection,
+        known_faults: &BTreeSet<(Address, usize)>,
+    ) -> Result<SerialElementOutcome, MemError> {
         let config = sram.config();
         let width = config.width();
         debug_assert_eq!(width, self.width);
-        // Patterns depend only on (value, row parity): precompute once
-        // so the bit-serial walk stays allocation-free per operation.
-        let patterns = background.patterns(width);
         let addresses: Vec<Address> = match element.order {
             march::AddressOrder::Ascending | march::AddressOrder::Either => config.addresses().collect(),
             march::AddressOrder::Descending => config.addresses_descending().collect(),

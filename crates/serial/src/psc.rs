@@ -106,6 +106,22 @@ impl ParallelToSerialConverter {
         DataWord::from_bits_lsb_first(bits.iter().copied())
     }
 
+    /// Captures a response, serialises it completely and reassembles the
+    /// word as the controller receives it, returning `(word, cycles)`.
+    ///
+    /// Behaviourally identical to [`ParallelToSerialConverter::serialize`]
+    /// followed by [`ParallelToSerialConverter::word_from_serial`], but
+    /// without materialising the intermediate bit vector — the shifted
+    /// bits feed the word builder directly. This keeps the per-read
+    /// serialisation of a large diagnosis population allocation-free
+    /// (one `DataWord`, no `Vec<bool>`).
+    pub fn serialize_word(&mut self, response: &DataWord) -> (DataWord, u64) {
+        self.capture(response);
+        let width = self.width;
+        let word = DataWord::from_bits_lsb_first((0..width).map(|_| self.shift_out()));
+        (word, 1 + width as u64)
+    }
+
     /// Clears the register, control signal and counters.
     pub fn reset(&mut self) {
         self.register = vec![false; self.width];
@@ -129,6 +145,24 @@ mod tests {
         assert_eq!(bits, vec![false, true, false, true]);
         assert_eq!(psc.capture_cycles(), 1);
         assert_eq!(psc.shift_cycles(), 4);
+    }
+
+    #[test]
+    fn serialize_word_agrees_with_serialize_plus_reassembly() {
+        for width in [1usize, 4, 63, 64, 65, 100] {
+            let mut via_bits = ParallelToSerialConverter::new(width);
+            let mut direct = ParallelToSerialConverter::new(width);
+            let mut response = DataWord::zero(width);
+            for bit in (0..width).step_by(3) {
+                response.set(bit, true);
+            }
+            let (bits, bit_cycles) = via_bits.serialize(&response);
+            let (word, word_cycles) = direct.serialize_word(&response);
+            assert_eq!(word, ParallelToSerialConverter::word_from_serial(&bits));
+            assert_eq!(word_cycles, bit_cycles);
+            assert_eq!(direct.capture_cycles(), via_bits.capture_cycles());
+            assert_eq!(direct.shift_cycles(), via_bits.shift_cycles());
+        }
     }
 
     #[test]

@@ -70,6 +70,15 @@ pub struct Sram {
     coupling_index: BTreeMap<(u64, usize), Vec<CellCoord>>,
 }
 
+// `march::FaultSimulator` shards fault universes over `std::thread::scope`
+// workers, each owning one reusable `Sram` as its shard handle; this
+// assertion keeps the array `Send` so a field gaining interior
+// non-thread-safe state (e.g. an `Rc` cache) is caught at compile time.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Sram>();
+};
+
 impl Sram {
     /// Creates a fault-free memory of the given geometry, using the
     /// paper's default retention model.
@@ -237,6 +246,10 @@ impl Sram {
     /// `march::FaultSimulator` reuses one memory across a whole fault
     /// list (`reset` + inject per fault) instead of constructing a fresh
     /// `Sram` per fault. The trace's recording flag is preserved.
+    ///
+    /// Cost is O(rows touched since the previous reset), not O(cells):
+    /// the packed planes track dirty rows, so resetting between pruned
+    /// single-row fault simulations is effectively free.
     pub fn reset(&mut self) {
         self.planes.clear();
         self.overlay.clear();

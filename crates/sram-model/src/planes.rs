@@ -19,12 +19,30 @@ use crate::word::{top_limb_mask, DataWord};
 /// `b` of word `w` at limb `w * limbs_per_word + b / 64`, bit `b % 64`.
 /// Bits of a word's top limb beyond the IO width are always zero, so
 /// whole-word operations can compare and copy limbs directly.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// The planes also keep a *dirty-row* bitset: every mutating access
+/// marks its row, and [`BitPlanes::clear`] zeroes only the marked rows.
+/// A reset after a sparse programme (e.g. a single-row pruned fault
+/// simulation, or one shard worker resetting between faults) therefore
+/// costs O(rows touched), not O(all limbs). Invariant: any row holding
+/// a non-zero limb is marked dirty (marking is a superset of non-zero).
+#[derive(Debug, Clone, Eq)]
 pub struct BitPlanes {
     width: usize,
     limbs_per_word: usize,
     top_mask: u64,
     limbs: Vec<u64>,
+    /// Bitset over rows mutated since the last [`BitPlanes::clear`].
+    dirty: Vec<u64>,
+}
+
+impl PartialEq for BitPlanes {
+    /// Equality is over geometry and stored contents only; the dirty-row
+    /// bookkeeping is an implementation detail (two planes holding the
+    /// same words compare equal even if they were written differently).
+    fn eq(&self, other: &Self) -> bool {
+        self.width == other.width && self.limbs_per_word == other.limbs_per_word && self.limbs == other.limbs
+    }
 }
 
 impl BitPlanes {
@@ -37,7 +55,19 @@ impl BitPlanes {
             limbs_per_word,
             top_mask: top_limb_mask(width),
             limbs: vec![0u64; limbs_per_word * config.words() as usize],
+            dirty: vec![0u64; (config.words() as usize).div_ceil(64)],
         }
+    }
+
+    /// Marks `row` as mutated since the last clear.
+    #[inline]
+    fn mark_dirty(&mut self, row: u64) {
+        self.dirty[(row / 64) as usize] |= 1u64 << (row % 64);
+    }
+
+    /// Number of rows mutated since the last clear (diagnostics/tests).
+    pub fn dirty_row_count(&self) -> usize {
+        self.dirty.iter().map(|limb| limb.count_ones() as usize).sum()
     }
 
     /// IO width in bits.
@@ -147,6 +177,7 @@ impl BitPlanes {
         debug_assert_eq!(data.width(), self.width, "plane write width mismatch");
         let base = self.base(row);
         self.limbs[base..base + self.limbs_per_word].copy_from_slice(data.limbs());
+        self.mark_dirty(row);
     }
 
     /// The stored value of bit `bit` of word `row`.
@@ -168,11 +199,27 @@ impl BitPlanes {
         } else {
             *limb &= !mask;
         }
+        self.mark_dirty(row);
     }
 
     /// Resets every cell to zero without reallocating.
+    ///
+    /// Only the rows mutated since the previous clear are zeroed (plus
+    /// the dirty bitset itself), so a reset after a sparse programme is
+    /// O(rows touched) — the enabling detail for pruned single-row fault
+    /// simulation, where a full-plane wipe per fault would dominate.
     pub fn clear(&mut self) {
-        self.limbs.fill(0);
+        let limbs_per_word = self.limbs_per_word;
+        for (limb_index, dirty_limb) in self.dirty.iter_mut().enumerate() {
+            let mut pending = *dirty_limb;
+            while pending != 0 {
+                let row = limb_index * 64 + pending.trailing_zeros() as usize;
+                pending &= pending - 1;
+                let base = row * limbs_per_word;
+                self.limbs[base..base + limbs_per_word].fill(0);
+            }
+            *dirty_limb = 0;
+        }
     }
 
     /// True if the top-limb mask invariant holds for every word (used by
@@ -233,6 +280,39 @@ mod tests {
         assert_eq!(p.word(2), DataWord::zero(64));
         p.clear();
         assert_eq!(p.word(1), DataWord::zero(64));
+    }
+
+    #[test]
+    fn clear_zeroes_only_and_exactly_the_dirty_rows() {
+        let mut p = planes(200, 100);
+        assert_eq!(p.dirty_row_count(), 0);
+        p.set_word(3, &DataWord::splat(true, 100));
+        p.set_bit(70, 99, true);
+        p.set_bit(70, 0, true);
+        p.set_word(199, &DataWord::splat(true, 100));
+        assert_eq!(p.dirty_row_count(), 3);
+        p.clear();
+        assert_eq!(p.dirty_row_count(), 0);
+        for row in 0..200u64 {
+            assert_eq!(p.word(row), DataWord::zero(100), "row {row} not cleared");
+        }
+        assert!(p.invariant_holds());
+        // Clearing a clean plane is a no-op.
+        p.clear();
+        assert_eq!(p.dirty_row_count(), 0);
+    }
+
+    #[test]
+    fn equality_ignores_dirty_bookkeeping() {
+        let mut a = planes(8, 65);
+        let mut b = planes(8, 65);
+        a.set_word(2, &DataWord::splat(true, 65));
+        a.set_word(2, &DataWord::zero(65));
+        a.set_bit(5, 64, true);
+        b.set_bit(5, 64, true);
+        // `a` has an extra dirty row (2) but identical contents.
+        assert_eq!(a, b);
+        assert_ne!(a.dirty_row_count(), b.dirty_row_count());
     }
 
     #[test]

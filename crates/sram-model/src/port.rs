@@ -83,6 +83,36 @@ pub trait FaultTarget {
     fn inject_decoder_fault(&mut self, fault: DecoderFault) -> Result<(), MemError>;
 }
 
+/// Forwarding impl so populations can be assembled from borrowed
+/// memories (e.g. `bisd` diagnosing `(MemoryId, &mut Sram)` pairs built
+/// from a population it does not own).
+impl<M: MemoryPort + ?Sized> MemoryPort for &mut M {
+    fn config(&self) -> MemConfig {
+        (**self).config()
+    }
+
+    fn write(&mut self, address: Address, data: &DataWord) -> Result<(), MemError> {
+        (**self).write(address, data)
+    }
+
+    fn write_nwrc(&mut self, address: Address, data: &DataWord) -> Result<(), MemError> {
+        (**self).write_nwrc(address, data)
+    }
+
+    fn read(&mut self, address: Address) -> Result<DataWord, MemError> {
+        (**self).read(address)
+    }
+
+    #[inline]
+    fn read_expect(&mut self, address: Address, expected: &DataWord) -> Result<Option<DataWord>, MemError> {
+        (**self).read_expect(address, expected)
+    }
+
+    fn elapse_retention(&mut self, pause_ms: f64) {
+        (**self).elapse_retention(pause_ms);
+    }
+}
+
 impl MemoryPort for Sram {
     fn config(&self) -> MemConfig {
         Sram::config(self)

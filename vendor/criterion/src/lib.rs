@@ -251,7 +251,11 @@ fn serialize_records(records: &[BenchRecord]) -> String {
 
 /// Parses a ledger previously written by [`serialize_records`]
 /// (line-oriented; malformed lines are skipped).
-fn parse_records(text: &str) -> Vec<BenchRecord> {
+///
+/// Public so ledger consumers (the workspace's CI perf-regression gate)
+/// share this parser with the writer instead of re-implementing the
+/// format.
+pub fn parse_records(text: &str) -> Vec<BenchRecord> {
     text.lines()
         .filter_map(|line| {
             Some(BenchRecord {
