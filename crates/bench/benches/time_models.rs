@@ -15,7 +15,7 @@ use bench::{print_section, small_population};
 use criterion::{criterion_group, criterion_main, Criterion};
 use esram_diag::{
     AnalyticModel, CaseStudy, DataBackground, DataBackgroundGenerator, DiagnosisScheme, DrfMode, FastScheme,
-    GoldenStore, HuangScheme, MarchSchedule, MemConfig,
+    GoldenStore, HuangScheme, MarchSchedule, MemConfig, ShardPlan, Soc,
 };
 use sram_model::{Address, DataWord};
 use std::hint::black_box;
@@ -231,6 +231,57 @@ fn bench_time_models(c: &mut Criterion) {
     });
     group.bench_function("population_golden_aos_512mem", |b| {
         b.iter(|| black_box(golden_aos_stream(&configs, &schedule)))
+    });
+
+    // Population sharding + parallel SoC construction: the 512-memory
+    // diagnosis under the frozen sequential comparator plan vs the
+    // library plan (`ESRAM_DIAG_THREADS`-overridable; CI pins it to 1
+    // so the perf gate compares like with like), and SoC construction
+    // at population scale under both plans. On a multi-core runner the
+    // `_sharded` entries scale with the worker count while the
+    // `_sequential` comparators freeze the single-thread walk.
+    group.bench_function("fast_scheme_diagnose_512mem_sequential", |b| {
+        b.iter_batched(
+            || small_population(SOA_MEMORIES, 64, 16, 0.0005, 42),
+            |mut soc| {
+                let result = FastScheme::new(10.0)
+                    .with_drf_mode(DrfMode::None)
+                    .diagnose_with(ShardPlan::sequential(), soc.memories_mut())
+                    .expect("fast run");
+                black_box(result.cycles)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("fast_scheme_diagnose_512mem_sharded", |b| {
+        b.iter_batched(
+            || small_population(SOA_MEMORIES, 64, 16, 0.0005, 42),
+            |mut soc| {
+                let result = FastScheme::new(10.0)
+                    .with_drf_mode(DrfMode::None)
+                    .diagnose_with(ShardPlan::from_env(), soc.memories_mut())
+                    .expect("fast run");
+                black_box(result.cycles)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    let build_512 = |plan: ShardPlan| {
+        let soc = Soc::builder()
+            .memories(SOA_MEMORIES, 64, 16)
+            .expect("valid geometry")
+            .defect_rate(0.0005)
+            .seed(42)
+            .spares(32)
+            .build_with(plan)
+            .expect("population builds");
+        soc.injected_faults()
+    };
+    group.bench_function("soc_build_512mem_sequential", |b| {
+        b.iter(|| black_box(build_512(ShardPlan::sequential())))
+    });
+    group.bench_function("soc_build_512mem_sharded", |b| {
+        b.iter(|| black_box(build_512(ShardPlan::from_env())))
     });
 
     group.finish();

@@ -4,29 +4,36 @@
 //!
 //! ```text
 //! perf_gate --ledger BENCH_results.json --fresh /tmp/fresh.json \
-//!           [--prefix fault_sim_throughput/] [--max-ratio 2.0]
+//!           [--prefix fault_sim_throughput/] [--prefix time_models/] \
+//!           [--max-ratio 2.0]
 //! ```
 //!
-//! Re-run the benchmark group into a fresh ledger first (the vendored
-//! criterion honours `BENCH_RESULTS_PATH`), then gate it against the
-//! committed ledger: any benchmark whose mean slowed down by more than
-//! `--max-ratio` (default 2.0) fails the process with exit code 1. New
-//! and retired benchmarks are reported but do not fail the gate.
+//! Re-run the benchmark groups into a fresh ledger first (the vendored
+//! criterion honours `BENCH_RESULTS_PATH` and merges across bench
+//! targets), then gate it against the committed ledger: any benchmark
+//! whose mean slowed down by more than `--max-ratio` (default 2.0)
+//! fails the process with exit code 1. `--prefix` may be repeated to
+//! gate several groups in one invocation; *all* groups are compared and
+//! *every* regression is reported before the process exits non-zero —
+//! a regression in the first group never masks one in a later group —
+//! and the full fresh-vs-committed ratio table is printed on success
+//! too, so a green gate still documents the current margins. New and
+//! retired benchmarks are reported but do not fail the gate.
 
-use bench::ledger::{gate, parse_ledger};
+use bench::ledger::{gate_groups, parse_ledger, GateReport};
 use std::process::ExitCode;
 
 struct Args {
     ledger: String,
     fresh: String,
-    prefix: String,
+    prefixes: Vec<String>,
     max_ratio: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
     let mut ledger = None;
     let mut fresh = None;
-    let mut prefix = String::new();
+    let mut prefixes = Vec::new();
     let mut max_ratio = 2.0f64;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -34,7 +41,7 @@ fn parse_args() -> Result<Args, String> {
         match flag.as_str() {
             "--ledger" => ledger = Some(value("--ledger")?),
             "--fresh" => fresh = Some(value("--fresh")?),
-            "--prefix" => prefix = value("--prefix")?,
+            "--prefix" => prefixes.push(value("--prefix")?),
             "--max-ratio" => {
                 let raw = value("--max-ratio")?;
                 max_ratio = raw
@@ -46,41 +53,35 @@ fn parse_args() -> Result<Args, String> {
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
+    if prefixes.is_empty() {
+        // No prefix: gate every benchmark in one all-encompassing group.
+        prefixes.push(String::new());
+    }
     Ok(Args {
         ledger: ledger.ok_or("--ledger is required")?,
         fresh: fresh.ok_or("--fresh is required")?,
-        prefix,
+        prefixes,
         max_ratio,
     })
 }
 
-fn run(args: &Args) -> Result<bool, String> {
-    let baseline_text = std::fs::read_to_string(&args.ledger)
-        .map_err(|e| format!("cannot read committed ledger {}: {e}", args.ledger))?;
-    let fresh_text = std::fs::read_to_string(&args.fresh)
-        .map_err(|e| format!("cannot read fresh ledger {}: {e}", args.fresh))?;
-    let baseline = parse_ledger(&baseline_text);
-    let fresh = parse_ledger(&fresh_text);
-    if fresh.iter().filter(|e| e.name.starts_with(&args.prefix)).count() == 0 {
-        return Err(format!(
-            "fresh ledger {} contains no entries with prefix '{}' — did the bench run?",
-            args.fresh, args.prefix
-        ));
-    }
-
-    let report = gate(&baseline, &fresh, &args.prefix);
-    let scope = if args.prefix.is_empty() {
+fn scope_of(prefix: &str) -> String {
+    if prefix.is_empty() {
         "all benchmarks".to_string()
     } else {
-        format!("prefix '{}'", args.prefix)
-    };
+        format!("prefix '{prefix}'")
+    }
+}
+
+fn print_group(prefix: &str, report: &GateReport, max_ratio: f64) {
     println!(
-        "perf gate: {} compared ({scope}), allowed slowdown {:.2}x",
+        "perf gate [{}]: {} compared, allowed slowdown {:.2}x",
+        scope_of(prefix),
         report.compared.len(),
-        args.max_ratio
+        max_ratio
     );
     for comparison in &report.compared {
-        let verdict = if comparison.regressed(args.max_ratio) {
+        let verdict = if comparison.regressed(max_ratio) {
             "REGRESSION"
         } else {
             "ok"
@@ -93,18 +94,53 @@ fn run(args: &Args) -> Result<bool, String> {
     for name in &report.missing_entries {
         println!("  [missing] {name} (committed but not produced by the fresh run)");
     }
+}
 
-    let passed = report.passes(args.max_ratio);
-    if passed {
-        println!("perf gate passed");
-    } else {
+fn run(args: &Args) -> Result<bool, String> {
+    let baseline_text = std::fs::read_to_string(&args.ledger)
+        .map_err(|e| format!("cannot read committed ledger {}: {e}", args.ledger))?;
+    let fresh_text = std::fs::read_to_string(&args.fresh)
+        .map_err(|e| format!("cannot read fresh ledger {}: {e}", args.fresh))?;
+    let baseline = parse_ledger(&baseline_text);
+    let fresh = parse_ledger(&fresh_text);
+    for prefix in &args.prefixes {
+        if !fresh.iter().any(|e| e.name.starts_with(prefix.as_str())) {
+            return Err(format!(
+                "fresh ledger {} contains no entries with {} — did the bench run?",
+                args.fresh,
+                scope_of(prefix)
+            ));
+        }
+    }
+
+    // Compare every group before deciding the verdict, so the output
+    // always holds the complete regression list (and, on success, the
+    // complete ratio table).
+    let groups = gate_groups(&baseline, &fresh, &args.prefixes);
+    for (prefix, report) in &groups {
+        print_group(prefix, report, args.max_ratio);
+    }
+
+    let regressed: usize = groups
+        .iter()
+        .map(|(_, report)| report.regressions(args.max_ratio).len())
+        .sum();
+    if regressed == 0 {
         println!(
-            "perf gate FAILED: {} benchmark(s) regressed beyond {:.2}x",
-            report.regressions(args.max_ratio).len(),
+            "perf gate passed ({} group(s), {} benchmark(s) within {:.2}x)",
+            groups.len(),
+            groups.iter().map(|(_, r)| r.compared.len()).sum::<usize>(),
             args.max_ratio
         );
+        Ok(true)
+    } else {
+        println!(
+            "perf gate FAILED: {regressed} benchmark(s) regressed beyond {:.2}x across {} group(s)",
+            args.max_ratio,
+            groups.len()
+        );
+        Ok(false)
     }
-    Ok(passed)
 }
 
 fn main() -> ExitCode {

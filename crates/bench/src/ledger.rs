@@ -75,6 +75,23 @@ impl GateReport {
     }
 }
 
+/// Gates a fresh ledger against the committed baseline over several
+/// benchmark groups at once, returning one report per prefix in the
+/// given order. The CI gate uses this so *every* group's regressions
+/// are collected and printed in a single invocation before the process
+/// exits non-zero — a regression in the first group must not mask one
+/// in the last.
+pub fn gate_groups(
+    baseline: &[BenchRecord],
+    fresh: &[BenchRecord],
+    prefixes: &[String],
+) -> Vec<(String, GateReport)> {
+    prefixes
+        .iter()
+        .map(|prefix| (prefix.clone(), gate(baseline, fresh, prefix)))
+        .collect()
+}
+
 /// Compares the fresh entries whose names start with `prefix` against
 /// the committed baseline (an empty prefix gates everything).
 pub fn gate(baseline: &[BenchRecord], fresh: &[BenchRecord], prefix: &str) -> GateReport {
@@ -156,6 +173,30 @@ mod tests {
         // The prefix filters unrelated groups.
         let other = gate(&baseline, &fresh, "other/");
         assert!(other.compared.is_empty() && other.new_entries.is_empty());
+    }
+
+    #[test]
+    fn gate_groups_reports_every_groups_regressions() {
+        let baseline = vec![entry("a/x", 100), entry("b/y", 100), entry("c/z", 100)];
+        let fresh = vec![
+            entry("a/x", 300), // regression in the first group
+            entry("b/y", 120), // fine
+            entry("c/z", 500), // regression in the last group
+        ];
+        let groups = gate_groups(
+            &baseline,
+            &fresh,
+            &["a/".to_string(), "b/".to_string(), "c/".to_string()],
+        );
+        assert_eq!(groups.len(), 3);
+        assert_eq!(groups[0].0, "a/");
+        assert!(!groups[0].1.passes(2.0));
+        assert!(groups[1].1.passes(2.0));
+        // The last group's regression is still present — nothing about
+        // the first failure hides it.
+        assert!(!groups[2].1.passes(2.0));
+        let total_regressions: usize = groups.iter().map(|(_, r)| r.regressions(2.0).len()).sum();
+        assert_eq!(total_regressions, 2);
     }
 
     #[test]

@@ -2,10 +2,11 @@
 //! March CW and NWRTM-based data-retention diagnosis.
 
 use crate::components::{AddressTrigger, ComparatorArray, DataBackgroundGenerator, MemorySizeTable};
+use crate::log::{DiagnosisLog, DiagnosisRecord};
 use crate::population::GoldenStore;
 use crate::result::DiagnosisResult;
 use crate::scheme::{DiagnosisScheme, MemoryUnderDiagnosis};
-use march::{algorithms, AddressOrder, DataBackground, MarchElement, MarchOp, MarchSchedule};
+use march::{algorithms, AddressOrder, DataBackground, MarchElement, MarchOp, MarchSchedule, ShardPlan};
 use serial::{ParallelToSerialConverter, PatternDeliveryBus, ShiftOrder};
 use sram_model::{Address, DataWord, MemConfig, MemError, MemoryId, MemoryPort, Sram};
 use std::collections::BTreeMap;
@@ -126,27 +127,51 @@ impl DiagnosisScheme for FastScheme {
     }
 
     fn diagnose(&self, memories: &mut [MemoryUnderDiagnosis]) -> Result<DiagnosisResult, MemError> {
-        let mut members: Vec<(MemoryId, &mut Sram)> =
-            memories.iter_mut().map(|m| (m.id, &mut m.sram)).collect();
-        self.diagnose_ports(&mut members)
+        self.diagnose_with(ShardPlan::default(), memories)
     }
 }
 
-/// Mutable state of one population diagnosis run, grouped so the
-/// per-operation loops can split-borrow its fields (memories vs golden
-/// store vs PSCs vs comparator).
+/// One March element of the schedule as planned by the controller before
+/// any memory is touched: its position in the schedule, the comparator
+/// label, the per-element retention pause and the serially delivered
+/// pattern words, keyed by logical write value and distinct IO width
+/// (all SPCs of one width capture identical bits, so a width-keyed
+/// delivery serves every shard segment regardless of how the population
+/// is split).
 #[derive(Debug)]
-struct PopulationRun<'a, M> {
-    memories: &'a mut [(MemoryId, M)],
-    golden: GoldenStore,
-    pscs: Vec<ParallelToSerialConverter>,
-    comparator: ComparatorArray,
-    trigger: AddressTrigger,
+struct ElementPlan {
+    phase_index: usize,
+    element_index: usize,
+    background: DataBackground,
+    label: String,
+    pause_ms: u64,
+    /// `delivered[value][width]` — the word an SPC of `width` presents
+    /// after the broadcast for logical `value`.
+    delivered: BTreeMap<bool, BTreeMap<usize, DataWord>>,
 }
 
 impl FastScheme {
+    /// Diagnoses a population of [`MemoryUnderDiagnosis`] under an
+    /// explicit [`ShardPlan`] (what [`DiagnosisScheme::diagnose`] calls
+    /// with the default plan). Output is byte-identical for every plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on memory-model validation failures (which
+    /// indicate a bug in the scheme, not in the population).
+    pub fn diagnose_with(
+        &self,
+        plan: ShardPlan,
+        memories: &mut [MemoryUnderDiagnosis],
+    ) -> Result<DiagnosisResult, MemError> {
+        let mut members: Vec<(MemoryId, &mut Sram)> =
+            memories.iter_mut().map(|m| (m.id, &mut m.sram)).collect();
+        self.diagnose_ports_with(plan, &mut members)
+    }
+
     /// Diagnoses a population presented as `(id, memory)` pairs over any
-    /// [`MemoryPort`] implementation.
+    /// [`MemoryPort`] implementation, under the default [`ShardPlan`]
+    /// (available cores, `ESRAM_DIAG_THREADS` overrides).
     ///
     /// This is the generic core [`DiagnosisScheme::diagnose`] wraps (the
     /// packed population case); the dense-vs-packed equivalence suite
@@ -157,8 +182,30 @@ impl FastScheme {
     ///
     /// Returns an error on memory-model validation failures (which
     /// indicate a bug in the scheme, not in the population).
-    pub fn diagnose_ports<M: MemoryPort>(
+    pub fn diagnose_ports<M: MemoryPort + Send>(
         &self,
+        memories: &mut [(MemoryId, M)],
+    ) -> Result<DiagnosisResult, MemError> {
+        self.diagnose_ports_with(ShardPlan::default(), memories)
+    }
+
+    /// Diagnoses a population under an explicit [`ShardPlan`].
+    ///
+    /// The population is split into contiguous per-worker segments
+    /// (memories are independent given the shared write stream); each
+    /// worker replays the planned schedule over its segment with its own
+    /// [`GoldenStore`] segment view, PSCs and comparator, and the
+    /// per-worker logs are merged back in exact population order — the
+    /// result is byte-identical to the sequential (1-thread) walk for
+    /// every plan, which the population-shard determinism suite asserts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on memory-model validation failures (which
+    /// indicate a bug in the scheme, not in the population).
+    pub fn diagnose_ports_with<M: MemoryPort + Send>(
+        &self,
+        plan: ShardPlan,
         memories: &mut [(MemoryId, M)],
     ) -> Result<DiagnosisResult, MemError> {
         assert!(!memories.is_empty(), "diagnosis needs at least one memory");
@@ -172,68 +219,95 @@ impl FastScheme {
         let schedule = self.schedule(c_max);
         let backgrounds: Vec<DataBackground> =
             schedule.phases().iter().map(|phase| phase.background).collect();
+        let trigger = AddressTrigger::new(n_max);
 
+        // The controller's per-element work — serial pattern delivery
+        // through the shared bus and the closed-form cycle accounting —
+        // is population-global, so it is planned exactly once up front;
+        // the workers then replay the planned elements over their
+        // segments without touching the shared bus or the counters.
         let mut cycles: u64 = 0;
         let mut pause_ms: f64 = 0.0;
-        let mut run = PopulationRun {
-            memories,
-            // Golden (expected) contents of the whole population, held
-            // as shared per-word-count value planes plus one pattern set
-            // per background — not one `Vec<DataWord>` per memory.
-            golden: GoldenStore::new(&configs, &generator, &backgrounds),
-            pscs: widths
-                .iter()
-                .map(|&w| ParallelToSerialConverter::new(w))
-                .collect(),
-            comparator: ComparatorArray::new(),
-            trigger: AddressTrigger::new(n_max),
-        };
-        let representatives = run.golden.width_class_representatives();
-
+        let mut plans: Vec<ElementPlan> = Vec::new();
         for (phase_index, phase) in schedule.phases().iter().enumerate() {
-            let background = phase.background;
             for (element_index, element) in phase.test.elements().iter().enumerate() {
                 let label = element
                     .label
                     .clone()
                     .unwrap_or_else(|| format!("{}#{}", phase.test.name(), element_index));
-
-                // Retention pauses apply once per element, to every memory.
-                let element_pause = element.pause_ms();
-                if element_pause > 0 {
-                    for (_, memory) in run.memories.iter_mut() {
-                        memory.elapse_retention(element_pause as f64);
-                    }
-                    pause_ms += element_pause as f64;
-                }
-
-                // Serial pattern delivery: one broadcast per distinct write
-                // value used by the element, through the shared bus and the
-                // per-memory SPCs (materialised once per distinct width).
-                let delivered = self.deliver_patterns(
-                    element,
-                    background,
-                    &generator,
-                    &widths,
-                    &representatives,
-                    &mut cycles,
-                );
-
-                cycles += self.run_element(
-                    &mut run,
+                pause_ms += element.pause_ms() as f64;
+                let delivered =
+                    self.deliver_patterns(element, phase.background, &generator, &widths, &mut cycles);
+                cycles += Self::element_cycles(element, n_max, c_max);
+                plans.push(ElementPlan {
                     phase_index,
-                    background,
-                    element,
-                    &label,
-                    &delivered,
-                    c_max,
-                )?;
+                    element_index,
+                    background: phase.background,
+                    label,
+                    pause_ms: element.pause_ms(),
+                    delivered,
+                });
             }
         }
 
+        let log = if plan.shard_count(memories.len()) <= 1 {
+            let (_, log) = self.run_segment(
+                memories,
+                &configs,
+                &generator,
+                &backgrounds,
+                &schedule,
+                &plans,
+                trigger,
+            )?;
+            log
+        } else {
+            let chunk = plan.chunk_size(memories.len());
+            let (generator, backgrounds, schedule, plans) = (&generator, &backgrounds, &schedule, &plans);
+            let worker_results: Vec<Result<(Vec<u64>, DiagnosisLog), MemError>> =
+                std::thread::scope(|scope| {
+                    let workers: Vec<_> = memories
+                        .chunks_mut(chunk)
+                        .zip(configs.chunks(chunk))
+                        .map(|(segment, segment_configs)| {
+                            scope.spawn(move || {
+                                self.run_segment(
+                                    segment,
+                                    segment_configs,
+                                    generator,
+                                    backgrounds,
+                                    schedule,
+                                    plans,
+                                    trigger,
+                                )
+                            })
+                        })
+                        .collect();
+                    workers
+                        .into_iter()
+                        .map(|worker| worker.join().expect("population shard worker panicked"))
+                        .collect()
+                });
+            // Reassemble the population log in exact sequential order:
+            // the global operation sequence number is the primary key
+            // and segment order (== memory order, since segments are
+            // contiguous and per-worker sequences are nondecreasing)
+            // breaks ties, so a stable sort over the segment-ordered
+            // concatenation reproduces the 1-thread walk byte for byte.
+            let mut tagged: Vec<(u64, DiagnosisRecord)> = Vec::new();
+            for result in worker_results {
+                let (sequences, log) = result?;
+                tagged.extend(sequences.into_iter().zip(log.into_records()));
+            }
+            tagged.sort_by_key(|&(sequence, _)| sequence);
+            let mut log = DiagnosisLog::new();
+            log.extend(tagged.into_iter().map(|(_, record)| record));
+            log
+        };
+
         Ok(DiagnosisResult {
             scheme: self.name().to_string(),
-            log: run.comparator.into_log(),
+            log,
             cycles,
             pause_ms,
             iterations: 1,
@@ -242,18 +316,18 @@ impl FastScheme {
     }
 
     /// Broadcasts the patterns an element needs and returns, per logical
-    /// write value, the word each *width class* of SPCs presents (all
-    /// SPCs of one width capture identical bits, so one materialisation
-    /// per distinct width serves the whole population).
+    /// write value, the word the SPCs of each distinct IO *width*
+    /// present after the broadcast (all SPCs of one width capture
+    /// identical bits, so one materialisation per distinct width serves
+    /// the whole population and every shard segment of it).
     fn deliver_patterns(
         &self,
         element: &MarchElement,
         background: DataBackground,
         generator: &DataBackgroundGenerator,
         widths: &[usize],
-        representatives: &[usize],
         cycles: &mut u64,
-    ) -> BTreeMap<bool, Vec<DataWord>> {
+    ) -> BTreeMap<bool, BTreeMap<usize, DataWord>> {
         let mut delivered = BTreeMap::new();
         let mut values: Vec<bool> = Vec::new();
         for op in &element.ops {
@@ -269,11 +343,11 @@ impl FastScheme {
             let mut bus = PatternDeliveryBus::with_order(widths, self.shift_order);
             let pattern = generator.pattern(background, value);
             *cycles += bus.broadcast(&pattern);
-            let per_width_class: Vec<DataWord> = representatives
-                .iter()
-                .map(|&member| bus.pattern_at(member))
-                .collect();
-            delivered.insert(value, per_width_class);
+            let mut per_width: BTreeMap<usize, DataWord> = BTreeMap::new();
+            for (member, &width) in widths.iter().enumerate() {
+                per_width.entry(width).or_insert_with(|| bus.pattern_at(member));
+            }
+            delivered.insert(value, per_width);
         }
         delivered
     }
@@ -285,77 +359,128 @@ impl FastScheme {
     /// Sec. 3.1).
     ///
     /// Cycle accounting is deliberately split from behavioural stepping:
-    /// the simulation loop below only moves data, so its cost no longer
+    /// the segment loop below only moves data, so its cost no longer
     /// contributes per-operation bookkeeping, and the accounting itself
     /// is exact by construction (it is Eq. (2) factored per element).
     fn element_cycles(element: &MarchElement, n_max: u64, c_max: usize) -> u64 {
         n_max * (element.ops_per_address() as u64 + element.reads_per_address() as u64 * c_max as u64)
     }
 
-    /// Runs one March element over the whole population in lock step and
-    /// returns the clock cycles it consumed (excluding pattern delivery).
+    /// Replays the planned schedule over one contiguous population
+    /// segment and returns the segment's diagnosis log, each record
+    /// tagged with the global operation sequence number it was observed
+    /// at (the shard-merge key).
     ///
-    /// Per write operation the golden store updates one value-plane bit
+    /// The segment owns its own [`GoldenStore`] view: a memory's golden
+    /// word depends only on the shared write stream and the memory's own
+    /// geometry, so a store built from the segment's configs holds
+    /// exactly the expectations the whole-population store would hand
+    /// these members. Per write the store updates one value-plane bit
     /// per distinct word count; per read the expectation is borrowed
     /// from the per-background pattern matrix — no golden words are
     /// cloned or compared per memory anywhere in this loop.
     #[allow(clippy::too_many_arguments)]
-    fn run_element<M: MemoryPort>(
+    fn run_segment<M: MemoryPort>(
         &self,
-        run: &mut PopulationRun<'_, M>,
-        phase_index: usize,
-        background: DataBackground,
-        element: &MarchElement,
-        label: &str,
-        delivered: &BTreeMap<bool, Vec<DataWord>>,
-        c_max: usize,
-    ) -> Result<u64, MemError> {
-        let addresses: Vec<Address> = match element.order {
-            AddressOrder::Ascending | AddressOrder::Either => run.trigger.ascending().collect(),
-            AddressOrder::Descending => run.trigger.descending().collect(),
-        };
+        memories: &mut [(MemoryId, M)],
+        configs: &[MemConfig],
+        generator: &DataBackgroundGenerator,
+        backgrounds: &[DataBackground],
+        schedule: &MarchSchedule,
+        plans: &[ElementPlan],
+        trigger: AddressTrigger,
+    ) -> Result<(Vec<u64>, DiagnosisLog), MemError> {
+        let mut golden = GoldenStore::new(configs, generator, backgrounds);
+        let class_widths: Vec<usize> = golden.class_widths().to_vec();
+        let mut pscs: Vec<ParallelToSerialConverter> = configs
+            .iter()
+            .map(|config| ParallelToSerialConverter::new(config.width()))
+            .collect();
+        let mut comparator = ComparatorArray::new();
+        let mut sequences: Vec<u64> = Vec::new();
+        let mut op_seq: u64 = 0;
 
-        for global in addresses {
-            for op in &element.ops {
-                match op {
-                    MarchOp::Pause(_) => {}
-                    MarchOp::Write(value) | MarchOp::NwrcWrite(value) => {
-                        let nwrc = op.is_nwrc();
-                        // NWRC writes succeed on good cells, so the
-                        // expectation matches a normal write.
-                        run.golden.record_write(phase_index, global, *value);
-                        let per_width_class = &delivered[value];
-                        for (index, (_, memory)) in run.memories.iter_mut().enumerate() {
-                            let local = run.trigger.local_address(global, run.golden.member_words(index));
-                            let data = &per_width_class[run.golden.member_width_class(index)];
-                            if nwrc {
-                                memory.write_nwrc(local, data)?;
-                            } else {
-                                memory.write(local, data)?;
+        for plan in plans {
+            let element = &schedule.phases()[plan.phase_index].test.elements()[plan.element_index];
+
+            // Retention pauses apply once per element, to every memory.
+            if plan.pause_ms > 0 {
+                for (_, memory) in memories.iter_mut() {
+                    memory.elapse_retention(plan.pause_ms as f64);
+                }
+            }
+
+            // Materialise the width-keyed delivery for this segment's
+            // width classes, once per element.
+            let per_class: BTreeMap<bool, Vec<DataWord>> = plan
+                .delivered
+                .iter()
+                .map(|(&value, by_width)| {
+                    (
+                        value,
+                        class_widths.iter().map(|width| by_width[width].clone()).collect(),
+                    )
+                })
+                .collect();
+
+            let addresses: Vec<Address> = match element.order {
+                AddressOrder::Ascending | AddressOrder::Either => trigger.ascending().collect(),
+                AddressOrder::Descending => trigger.descending().collect(),
+            };
+
+            for global in addresses {
+                for op in &element.ops {
+                    // Every worker advances the sequence identically
+                    // (the schedule walk is segment-independent), so
+                    // equal sequence numbers across segments mean "the
+                    // same population-wide operation".
+                    op_seq += 1;
+                    match op {
+                        MarchOp::Pause(_) => {}
+                        MarchOp::Write(value) | MarchOp::NwrcWrite(value) => {
+                            let nwrc = op.is_nwrc();
+                            // NWRC writes succeed on good cells, so the
+                            // expectation matches a normal write.
+                            golden.record_write(plan.phase_index, global, *value);
+                            let words = &per_class[value];
+                            for (index, (_, memory)) in memories.iter_mut().enumerate() {
+                                let local = trigger.local_address(global, golden.member_words(index));
+                                let data = &words[golden.member_width_class(index)];
+                                if nwrc {
+                                    memory.write_nwrc(local, data)?;
+                                } else {
+                                    memory.write(local, data)?;
+                                }
                             }
                         }
-                    }
-                    MarchOp::Read(_) => {
-                        for (index, (id, memory)) in run.memories.iter_mut().enumerate() {
-                            let local = run.trigger.local_address(global, run.golden.member_words(index));
-                            let observed = memory.read(local)?;
-                            // Capture into the PSC and shift the response
-                            // back to the controller while the memory idles.
-                            let (received, _) = run.pscs[index].serialize_word(&observed);
-                            let expected = run.golden.expected_at(index, local);
-                            run.comparator
-                                .compare(*id, local, background, label, expected, &received);
+                        MarchOp::Read(_) => {
+                            for (index, (id, memory)) in memories.iter_mut().enumerate() {
+                                let local = trigger.local_address(global, golden.member_words(index));
+                                let observed = memory.read(local)?;
+                                // Capture into the PSC and shift the
+                                // response back to the controller while
+                                // the memory idles.
+                                let (received, _) = pscs[index].serialize_word(&observed);
+                                let expected = golden.expected_at(index, local);
+                                let failing = comparator.compare(
+                                    *id,
+                                    local,
+                                    plan.background,
+                                    &plan.label,
+                                    expected,
+                                    &received,
+                                );
+                                if !failing.is_empty() {
+                                    sequences.push(op_seq);
+                                }
+                            }
                         }
+                        _ => {}
                     }
-                    _ => {}
                 }
             }
         }
-        Ok(FastScheme::element_cycles(
-            element,
-            run.trigger.max_words(),
-            c_max,
-        ))
+        Ok((sequences, comparator.into_log()))
     }
 }
 

@@ -5,10 +5,15 @@ use crate::components::MemorySizeTable;
 use crate::log::{DiagnosisLog, DiagnosisRecord};
 use crate::result::DiagnosisResult;
 use crate::scheme::{DiagnosisScheme, MemoryUnderDiagnosis};
-use march::{algorithms, BackgroundPatterns, DataBackground, MarchElement, MarchTest};
+use march::{algorithms, BackgroundPatterns, DataBackground, MarchElement, MarchTest, ShardPlan};
 use serial::{BidirectionalSerialInterface, ShiftDirection};
 use sram_model::{Address, MemError, MemoryId};
 use std::collections::{BTreeMap, BTreeSet};
+
+/// Per-memory set of already-located `(address, bit)` sites, carried
+/// across iterations (indexed like the population slice so contiguous
+/// segments of memories and known-sets shard together).
+type KnownSites = BTreeSet<(Address, usize)>;
 
 /// The baseline scheme of [7,8].
 ///
@@ -79,6 +84,31 @@ impl DiagnosisScheme for HuangScheme {
     }
 
     fn diagnose(&self, memories: &mut [MemoryUnderDiagnosis]) -> Result<DiagnosisResult, MemError> {
+        self.diagnose_with(ShardPlan::default(), memories)
+    }
+}
+
+impl HuangScheme {
+    /// Diagnoses a population under an explicit [`ShardPlan`].
+    ///
+    /// The baseline iterates globally (every memory runs every `M1`
+    /// pass, and the pass count is what Eq. (1) charges), so sharding
+    /// happens *inside* each pass: the population is split into
+    /// contiguous per-worker segments, each worker runs the pass over
+    /// its memories, and the per-segment logs concatenate back in
+    /// memory order — byte-identical to the sequential walk for every
+    /// plan, while the found-anything verdicts OR-reduce across
+    /// segments to drive the global iteration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the population is empty or a memory-model
+    /// validation error occurs (which indicates a bug in the scheme).
+    pub fn diagnose_with(
+        &self,
+        plan: ShardPlan,
+        memories: &mut [MemoryUnderDiagnosis],
+    ) -> Result<DiagnosisResult, MemError> {
         assert!(!memories.is_empty(), "diagnosis needs at least one memory");
 
         let table: MemorySizeTable = memories.iter().map(|m| (m.id, m.config())).collect();
@@ -86,7 +116,7 @@ impl DiagnosisScheme for HuangScheme {
         let c_max = table.max_width() as u64;
 
         let mut log = DiagnosisLog::new();
-        let mut known: BTreeMap<MemoryId, BTreeSet<(Address, usize)>> = BTreeMap::new();
+        let mut known: Vec<KnownSites> = vec![KnownSites::new(); memories.len()];
         let mut cycles: u64 = 0;
         let mut pause_ms: f64 = 0.0;
 
@@ -111,19 +141,8 @@ impl DiagnosisScheme for HuangScheme {
         loop {
             iterations += 1;
             cycles += m1.complexity_per_address() as u64 * n_max * c_max;
-            let mut found_new = false;
-            for memory in memories.iter_mut() {
-                let patterns = &width_patterns[&memory.config().width()];
-                let found = run_group_serially(
-                    memory,
-                    &m1,
-                    patterns,
-                    &mut log,
-                    known.entry(memory.id).or_default(),
-                    2,
-                )?;
-                found_new |= found > 0;
-            }
+            let found_new =
+                run_population_pass(plan, memories, &mut known, &m1, &width_patterns, &mut log, 2)?;
             if !found_new || iterations >= self.max_iterations {
                 break;
             }
@@ -133,17 +152,15 @@ impl DiagnosisScheme for HuangScheme {
         // address, still bit-serial).
         let base = algorithms::diag_rs_march_base();
         cycles += base.complexity_per_address() as u64 * n_max * c_max;
-        for memory in memories.iter_mut() {
-            let patterns = &width_patterns[&memory.config().width()];
-            run_group_serially(
-                memory,
-                &base,
-                patterns,
-                &mut log,
-                known.entry(memory.id).or_default(),
-                usize::MAX,
-            )?;
-        }
+        run_population_pass(
+            plan,
+            memories,
+            &mut known,
+            &base,
+            &width_patterns,
+            &mut log,
+            usize::MAX,
+        )?;
 
         // Optional pause-based data-retention extension: 8·k extra units
         // of serialised complexity plus the retention pauses.
@@ -153,19 +170,15 @@ impl DiagnosisScheme for HuangScheme {
             loop {
                 drf_iterations += 1;
                 cycles += 8 * n_max * c_max;
-                let mut found_new = false;
-                for memory in memories.iter_mut() {
-                    let patterns = &width_patterns[&memory.config().width()];
-                    let found = run_group_serially(
-                        memory,
-                        &drf_test,
-                        patterns,
-                        &mut log,
-                        known.entry(memory.id).or_default(),
-                        2,
-                    )?;
-                    found_new |= found > 0;
-                }
+                let found_new = run_population_pass(
+                    plan,
+                    memories,
+                    &mut known,
+                    &drf_test,
+                    &width_patterns,
+                    &mut log,
+                    2,
+                )?;
                 if !found_new || drf_iterations >= self.max_iterations {
                     break;
                 }
@@ -182,6 +195,77 @@ impl DiagnosisScheme for HuangScheme {
             clock_period_ns: self.clock_period_ns,
         })
     }
+}
+
+/// Runs one element-group pass over the whole population under a shard
+/// plan, appending located-fault records to `log` in memory order, and
+/// returns whether any memory located something new.
+fn run_population_pass(
+    plan: ShardPlan,
+    memories: &mut [MemoryUnderDiagnosis],
+    known: &mut [KnownSites],
+    test: &MarchTest,
+    width_patterns: &BTreeMap<usize, BackgroundPatterns>,
+    log: &mut DiagnosisLog,
+    per_direction_budget: usize,
+) -> Result<bool, MemError> {
+    let (found_new, pass_log) = if plan.shard_count(memories.len()) <= 1 {
+        run_segment_pass(memories, known, test, width_patterns, per_direction_budget)?
+    } else {
+        let chunk = plan.chunk_size(memories.len());
+        let worker_results: Vec<Result<(bool, DiagnosisLog), MemError>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = memories
+                .chunks_mut(chunk)
+                .zip(known.chunks_mut(chunk))
+                .map(|(segment, known_segment)| {
+                    scope.spawn(move || {
+                        run_segment_pass(segment, known_segment, test, width_patterns, per_direction_budget)
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|worker| worker.join().expect("diagnosis shard worker panicked"))
+                .collect()
+        });
+        let mut found_new = false;
+        let mut merged = DiagnosisLog::new();
+        for result in worker_results {
+            let (segment_found, segment_log) = result?;
+            found_new |= segment_found;
+            merged.merge(segment_log);
+        }
+        (found_new, merged)
+    };
+    log.merge(pass_log);
+    Ok(found_new)
+}
+
+/// Runs one element-group pass over a contiguous population segment,
+/// returning the segment's located-fault records (in memory order) and
+/// whether anything new was located.
+fn run_segment_pass(
+    memories: &mut [MemoryUnderDiagnosis],
+    known: &mut [KnownSites],
+    test: &MarchTest,
+    width_patterns: &BTreeMap<usize, BackgroundPatterns>,
+    per_direction_budget: usize,
+) -> Result<(bool, DiagnosisLog), MemError> {
+    let mut log = DiagnosisLog::new();
+    let mut found_new = false;
+    for (memory, known_sites) in memories.iter_mut().zip(known.iter_mut()) {
+        let patterns = &width_patterns[&memory.config().width()];
+        let found = run_group_serially(
+            memory,
+            test,
+            patterns,
+            &mut log,
+            known_sites,
+            per_direction_budget,
+        )?;
+        found_new |= found > 0;
+    }
+    Ok((found_new, log))
 }
 
 /// The pause-based DRF identification pass used by the baseline when the

@@ -131,6 +131,13 @@ impl DiagnosisLog {
     pub fn merge(&mut self, other: DiagnosisLog) {
         self.records.extend(other.records);
     }
+
+    /// Consumes the log and returns its records in detection order (the
+    /// shard-merge path reorders per-worker records by operation
+    /// sequence before reassembling the population log).
+    pub fn into_records(self) -> Vec<DiagnosisRecord> {
+        self.records
+    }
 }
 
 impl Extend<DiagnosisRecord> for DiagnosisLog {

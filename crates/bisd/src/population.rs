@@ -171,18 +171,12 @@ impl GoldenStore {
         self.members[member].width_class
     }
 
-    /// The first member of each width class, in width-class order — the
-    /// representatives a controller uses to materialise one delivered
-    /// pattern per distinct width instead of one per memory.
-    pub fn width_class_representatives(&self) -> Vec<usize> {
-        (0..self.widths.len())
-            .map(|width_class| {
-                self.members
-                    .iter()
-                    .position(|m| m.width_class == width_class)
-                    .expect("every width class has a member")
-            })
-            .collect()
+    /// The distinct IO widths of the population, indexed by width class
+    /// (what [`GoldenStore::member_width_class`] indexes into) — shard
+    /// workers use this to materialise per-class pattern words from a
+    /// population-wide width-keyed delivery.
+    pub fn class_widths(&self) -> &[usize] {
+        &self.widths
     }
 
     /// Records a write of logical `value` broadcast at `global` during
@@ -271,7 +265,7 @@ mod tests {
         assert_eq!(s.width_class_count(), 2);
         assert_eq!(s.member_words(1), 16);
         assert_eq!(s.member_width_class(0), s.member_width_class(2));
-        assert_eq!(s.width_class_representatives(), vec![0, 1]);
+        assert_eq!(s.class_widths(), &[8, 4]);
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! Sharded population diagnosis must be *byte-identical* to the
+//! sequential walk:
+//!
+//! * `FastScheme::diagnose_ports_with` returns the identical
+//!   [`bisd::DiagnosisResult`] — comparator log in exact record order,
+//!   cycles, pause accounting — for every worker count;
+//! * `HuangScheme::diagnose_with` iterates globally with sharded
+//!   passes, and its log/iteration/cycle accounting never depends on
+//!   the plan;
+//! * the default (environment-driven) plan used by the
+//!   [`DiagnosisScheme::diagnose`] entry points equals the explicit
+//!   sequential plan — this is what the CI thread-matrix job sweeps
+//!   over `ESRAM_DIAG_THREADS` ∈ {1, 2, 7, 32}.
+
+use bisd::{DiagnosisScheme, DrfMode, FastScheme, HuangScheme, MemoryUnderDiagnosis};
+use fault_models::{DefectProfile, FaultInjector};
+use march::ShardPlan;
+use sram_model::{MemConfig, MemoryId};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 7, 32];
+
+/// A heterogeneous defective population: mixed word counts and widths
+/// (so shard segments cut across value and width classes), every
+/// defect class in the mix, one memory left pristine, and enough
+/// members that 7- and 32-worker plans produce uneven segments.
+fn population(seed: u64, defect_rate: f64) -> Vec<MemoryUnderDiagnosis> {
+    let geometries: [(u64, usize); 11] = [
+        (32, 8),
+        (16, 4),
+        (24, 6),
+        (32, 8),
+        (8, 3),
+        (64, 16),
+        (16, 4),
+        (48, 10),
+        (32, 8),
+        (16, 16),
+        (64, 5),
+    ];
+    let profile = DefectProfile::with_data_retention(defect_rate);
+    geometries
+        .iter()
+        .enumerate()
+        .map(|(index, &(words, width))| {
+            let id = MemoryId::new(index as u32);
+            let config = MemConfig::new(words, width).expect("valid geometry");
+            if index == 4 {
+                MemoryUnderDiagnosis::pristine(id, config)
+            } else {
+                let mut injector = FaultInjector::for_stream(seed, index as u64);
+                MemoryUnderDiagnosis::with_defects(id, config, &mut injector, &profile)
+                    .expect("defect injection succeeds")
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn fast_scheme_output_is_byte_identical_for_every_thread_count() {
+    for (seed, rate) in [(1u64, 0.02), (42, 0.05)] {
+        let mut sequential_population = population(seed, rate);
+        let sequential = FastScheme::new(10.0)
+            .diagnose_with(ShardPlan::sequential(), &mut sequential_population)
+            .expect("sequential run");
+        assert!(!sequential.is_clean(), "the population must contain faults");
+
+        for threads in THREAD_COUNTS {
+            let mut sharded_population = population(seed, rate);
+            let sharded = FastScheme::new(10.0)
+                .diagnose_with(ShardPlan::with_threads(threads), &mut sharded_population)
+                .expect("sharded run");
+            assert_eq!(
+                sharded, sequential,
+                "fast-scheme output diverged from sequential at {threads} threads (seed {seed})"
+            );
+            // Byte-identical includes exact record order, not just sets.
+            assert_eq!(sharded.log.records(), sequential.log.records());
+        }
+    }
+}
+
+#[test]
+fn fast_scheme_drf_modes_and_ablations_shard_identically() {
+    // NWRTM (NWRC writes), retention pauses (per-element ageing on
+    // every worker) and the LSB-first ablation (order-sensitive
+    // delivery) all have to survive sharding bit for bit.
+    let schemes = [
+        FastScheme::new(10.0),
+        FastScheme::new(10.0).with_drf_mode(DrfMode::None),
+        FastScheme::new(10.0).with_drf_mode(DrfMode::RetentionPause(100)),
+        FastScheme::new(10.0)
+            .with_shift_order(serial::ShiftOrder::LsbFirst)
+            .with_drf_mode(DrfMode::None),
+        FastScheme::new(10.0).with_march_c_minus(),
+    ];
+    for scheme in schemes {
+        let mut sequential_population = population(7, 0.03);
+        let sequential = scheme
+            .diagnose_with(ShardPlan::sequential(), &mut sequential_population)
+            .expect("sequential run");
+        for threads in THREAD_COUNTS {
+            let mut sharded_population = population(7, 0.03);
+            let sharded = scheme
+                .diagnose_with(ShardPlan::with_threads(threads), &mut sharded_population)
+                .expect("sharded run");
+            assert_eq!(
+                sharded, sequential,
+                "{scheme:?} diverged from sequential at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn huang_scheme_output_is_byte_identical_for_every_thread_count() {
+    for scheme in [
+        HuangScheme::new(10.0),
+        HuangScheme::new(10.0).with_retention_pause(100),
+        HuangScheme::new(10.0).with_max_iterations(3),
+    ] {
+        let mut sequential_population = population(11, 0.04);
+        let sequential = scheme
+            .diagnose_with(ShardPlan::sequential(), &mut sequential_population)
+            .expect("sequential run");
+        assert!(!sequential.is_clean(), "the population must contain faults");
+
+        for threads in THREAD_COUNTS {
+            let mut sharded_population = population(11, 0.04);
+            let sharded = scheme
+                .diagnose_with(ShardPlan::with_threads(threads), &mut sharded_population)
+                .expect("sharded run");
+            assert_eq!(
+                sharded, sequential,
+                "baseline output diverged from sequential at {threads} threads"
+            );
+            assert_eq!(sharded.iterations, sequential.iterations);
+            assert_eq!(sharded.log.records(), sequential.log.records());
+        }
+    }
+}
+
+#[test]
+fn default_env_driven_plan_equals_the_explicit_sequential_plan() {
+    // The trait entry points run under `ShardPlan::from_env()`; whatever
+    // `ESRAM_DIAG_THREADS` the CI matrix sets, the result must equal the
+    // sequential oracle.
+    let mut fast_default = population(5, 0.03);
+    let fast = FastScheme::new(10.0)
+        .diagnose(&mut fast_default)
+        .expect("default fast run");
+    let mut fast_sequential = population(5, 0.03);
+    let fast_oracle = FastScheme::new(10.0)
+        .diagnose_with(ShardPlan::sequential(), &mut fast_sequential)
+        .expect("sequential fast run");
+    assert_eq!(
+        fast,
+        fast_oracle,
+        "default-plan fast diagnosis diverged under {}",
+        ShardPlan::from_env()
+    );
+
+    let mut huang_default = population(5, 0.03);
+    let huang = HuangScheme::new(10.0)
+        .diagnose(&mut huang_default)
+        .expect("default baseline run");
+    let mut huang_sequential = population(5, 0.03);
+    let huang_oracle = HuangScheme::new(10.0)
+        .diagnose_with(ShardPlan::sequential(), &mut huang_sequential)
+        .expect("sequential baseline run");
+    assert_eq!(
+        huang,
+        huang_oracle,
+        "default-plan baseline diagnosis diverged under {}",
+        ShardPlan::from_env()
+    );
+}
+
+#[test]
+fn single_memory_population_shards_trivially() {
+    // More workers than memories: the plan degenerates to one shard and
+    // must not change anything.
+    let make = || {
+        let mut injector = FaultInjector::for_stream(3, 0);
+        vec![MemoryUnderDiagnosis::with_defects(
+            MemoryId::new(0),
+            MemConfig::new(32, 8).expect("valid geometry"),
+            &mut injector,
+            &DefectProfile::date2005(0.05),
+        )
+        .expect("defect injection succeeds")]
+    };
+    let mut a = make();
+    let mut b = make();
+    let sequential = FastScheme::new(10.0)
+        .diagnose_with(ShardPlan::sequential(), &mut a)
+        .expect("sequential run");
+    let sharded = FastScheme::new(10.0)
+        .diagnose_with(ShardPlan::with_threads(32), &mut b)
+        .expect("sharded run");
+    assert_eq!(sharded, sequential);
+}

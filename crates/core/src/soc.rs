@@ -3,6 +3,7 @@
 use crate::score::DiagnosisScore;
 use bisd::{DiagnosisResult, MemoryUnderDiagnosis};
 use fault_models::{DefectProfile, FaultInjector};
+use march::ShardPlan;
 use sram_model::{MemConfig, MemError, MemoryId};
 use std::fmt;
 
@@ -85,6 +86,11 @@ impl SocBuilder {
     }
 
     /// Sets the RNG seed used for defect injection (deterministic runs).
+    ///
+    /// Memory `i` draws its defects from stream `i` of this seed
+    /// ([`FaultInjector::for_stream`]), so the population is a pure
+    /// function of `(seed, index, geometry)` — independent of how many
+    /// workers [`SocBuilder::build_with`] constructs it with.
     pub fn seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
@@ -96,12 +102,30 @@ impl SocBuilder {
         self
     }
 
-    /// Builds the population, injecting defects if a defect rate was set.
+    /// Builds the population, injecting defects if a defect rate was
+    /// set, under the default [`ShardPlan`] (available cores,
+    /// `ESRAM_DIAG_THREADS` overrides).
     ///
     /// # Errors
     ///
     /// Returns an error if no memory was added or injection fails.
     pub fn build(self) -> Result<Soc, MemError> {
+        self.build_with(ShardPlan::default())
+    }
+
+    /// Builds the population under an explicit [`ShardPlan`].
+    ///
+    /// Defect injection is sharded over contiguous per-worker segments
+    /// of the memory list. Memory `i` always draws from RNG stream `i`
+    /// of the builder seed ([`FaultInjector::for_stream`]), so the
+    /// built population is bit-identical for every worker count — a
+    /// 512-memory benchmark SoC no longer costs more to build than to
+    /// diagnose, without giving up reproducibility.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if no memory was added or injection fails.
+    pub fn build_with(self, plan: ShardPlan) -> Result<Soc, MemError> {
         if self.configs.is_empty() {
             return Err(MemError::InvalidConfig { words: 0, width: 0 });
         }
@@ -110,16 +134,54 @@ impl SocBuilder {
         } else {
             DefectProfile::date2005(self.defect_rate)
         };
-        let mut injector = FaultInjector::with_seed(self.seed);
-        let mut memories = Vec::with_capacity(self.configs.len());
-        for (index, config) in self.configs.into_iter().enumerate() {
+        let (seed, spares, defect_rate) = (self.seed, self.spares, self.defect_rate);
+        let build_member = |index: usize, config: MemConfig| -> Result<MemoryUnderDiagnosis, MemError> {
             let id = MemoryId::new(index as u32);
-            let memory = if self.defect_rate > 0.0 {
+            let memory = if defect_rate > 0.0 {
+                let mut injector = FaultInjector::for_stream(seed, index as u64);
                 MemoryUnderDiagnosis::with_defects(id, config, &mut injector, &profile)?
             } else {
                 MemoryUnderDiagnosis::pristine(id, config)
             };
-            memories.push(memory.with_spares(self.spares));
+            Ok(memory.with_spares(spares))
+        };
+
+        if plan.shard_count(self.configs.len()) <= 1 {
+            let memories = self
+                .configs
+                .iter()
+                .enumerate()
+                .map(|(index, &config)| build_member(index, config))
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Soc { memories });
+        }
+
+        let chunk = plan.chunk_size(self.configs.len());
+        let build_member = &build_member;
+        let segments: Vec<Result<Vec<MemoryUnderDiagnosis>, MemError>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = self
+                .configs
+                .chunks(chunk)
+                .enumerate()
+                .map(|(shard_index, segment)| {
+                    let base = shard_index * chunk;
+                    scope.spawn(move || {
+                        segment
+                            .iter()
+                            .enumerate()
+                            .map(|(offset, &config)| build_member(base + offset, config))
+                            .collect::<Result<Vec<_>, _>>()
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|worker| worker.join().expect("SoC build worker panicked"))
+                .collect()
+        });
+        let mut memories = Vec::with_capacity(self.configs.len());
+        for segment in segments {
+            memories.extend(segment?);
         }
         Ok(Soc { memories })
     }

@@ -121,6 +121,30 @@ impl FaultInjector {
         }
     }
 
+    /// Creates the injector for stream `index` of a base `seed`.
+    ///
+    /// The `(seed, index)` → stream-seed mapping is a fixed SplitMix64
+    /// derivation, so a caller injecting one population per memory can
+    /// hand every memory its own independent, reproducible stream —
+    /// memory `index` draws identical faults no matter how many other
+    /// memories are built, in which order, or on which worker thread.
+    /// This is what makes population-scale SoC construction
+    /// embarrassingly parallel while staying bit-identical to a
+    /// sequential build.
+    pub fn for_stream(seed: u64, index: u64) -> Self {
+        FaultInjector::with_seed(Self::stream_seed(seed, index))
+    }
+
+    /// The SplitMix64 stream-seed derivation behind
+    /// [`FaultInjector::for_stream`] (exposed so tests and docs can
+    /// state the mapping precisely).
+    pub fn stream_seed(seed: u64, index: u64) -> u64 {
+        let mut z = seed.wrapping_add(index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
     /// Generates a random defect population for `config` according to
     /// `profile`, without touching any memory.
     pub fn generate(&mut self, config: MemConfig, profile: &DefectProfile) -> FaultList {
@@ -327,6 +351,20 @@ mod tests {
             let list = injector.generate(config, &DefectProfile::single_class(class, 0.05));
             assert!(list.iter().all(|f| f.class() == class), "class {class} leaked");
         }
+    }
+
+    #[test]
+    fn stream_seeds_are_stable_distinct_and_reproducible() {
+        assert_eq!(FaultInjector::stream_seed(7, 0), FaultInjector::stream_seed(7, 0));
+        assert_ne!(FaultInjector::stream_seed(7, 0), FaultInjector::stream_seed(7, 1));
+        assert_ne!(FaultInjector::stream_seed(7, 0), FaultInjector::stream_seed(8, 0));
+        let config = MemConfig::new(32, 4).unwrap();
+        let profile = DefectProfile::date2005(0.1);
+        let a = FaultInjector::for_stream(7, 3).generate(config, &profile);
+        let b = FaultInjector::for_stream(7, 3).generate(config, &profile);
+        assert_eq!(a, b);
+        let other_stream = FaultInjector::for_stream(7, 4).generate(config, &profile);
+        assert_ne!(a, other_stream);
     }
 
     #[test]

@@ -175,7 +175,37 @@ impl MarchRunner {
         patterns: &SchedulePatterns,
         address: Address,
     ) -> Result<RunOutcome, MemError> {
-        self.run_schedule_inner(sram, schedule, patterns, Some(address))
+        let rows = [address];
+        self.run_schedule_inner(sram, schedule, patterns, Some(&rows))
+    }
+
+    /// Runs a schedule visiting only `rows` (ascending-sorted, distinct)
+    /// in every element sweep, *order-preserving*: ascending elements
+    /// visit the rows in ascending order, descending elements in
+    /// descending order, so the visited rows experience the identical
+    /// relative operation sequence they would in a whole-memory sweep.
+    ///
+    /// This is the engine half of the simulator's two-row coupling
+    /// pruning: a coupling fault's observable behaviour involves exactly
+    /// the victim and aggressor rows, and on a memory whose fault-free
+    /// run passes, a sweep restricted to those two rows observes the
+    /// full run's failures.
+    ///
+    /// # Errors
+    ///
+    /// Propagates memory-model validation errors.
+    pub fn run_schedule_rows<M: MemoryPort>(
+        &self,
+        sram: &mut M,
+        schedule: &MarchSchedule,
+        patterns: &SchedulePatterns,
+        rows: &[Address],
+    ) -> Result<RunOutcome, MemError> {
+        debug_assert!(
+            rows.windows(2).all(|pair| pair[0] < pair[1]),
+            "restricted rows must be ascending and distinct"
+        );
+        self.run_schedule_inner(sram, schedule, patterns, Some(rows))
     }
 
     fn run_schedule_inner<M: MemoryPort>(
@@ -183,7 +213,7 @@ impl MarchRunner {
         sram: &mut M,
         schedule: &MarchSchedule,
         patterns: &SchedulePatterns,
-        restrict: Option<Address>,
+        restrict: Option<&[Address]>,
     ) -> Result<RunOutcome, MemError> {
         let mut outcome = RunOutcome {
             failures: Vec::new(),
@@ -211,7 +241,7 @@ impl MarchRunner {
         background: DataBackground,
         phase: usize,
         patterns: &BackgroundPatterns,
-        restrict: Option<Address>,
+        restrict: Option<&[Address]>,
     ) -> Result<RunOutcome, MemError> {
         let config = sram.config();
         let mut failures = Vec::new();
@@ -227,12 +257,11 @@ impl MarchRunner {
                 }
             }
 
-            let addresses: Vec<Address> = match restrict {
-                Some(address) => vec![address],
-                None => match element.order {
-                    AddressOrder::Ascending | AddressOrder::Either => config.addresses().collect(),
-                    AddressOrder::Descending => config.addresses_descending().collect(),
-                },
+            let addresses: Vec<Address> = match (restrict, element.order) {
+                (Some(rows), AddressOrder::Ascending | AddressOrder::Either) => rows.to_vec(),
+                (Some(rows), AddressOrder::Descending) => rows.iter().rev().copied().collect(),
+                (None, AddressOrder::Ascending | AddressOrder::Either) => config.addresses().collect(),
+                (None, AddressOrder::Descending) => config.addresses_descending().collect(),
             };
 
             for address in addresses {

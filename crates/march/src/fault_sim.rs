@@ -22,8 +22,11 @@
 //!   if a golden fault-free run of the schedule passes, reads of every
 //!   other row match by construction, so the simulator restricts the
 //!   address sweeps to the faulty row ([`MarchRunner::run_schedule_at`])
-//!   and substitutes the closed-form operation count. Faults with
-//!   cross-row behaviour (coupling, stuck-open sense-amp history,
+//!   and substitutes the closed-form operation count. A coupling fault
+//!   involves exactly two rows (victim and aggressor), so it takes an
+//!   order-preserving two-row restricted sweep
+//!   ([`MarchRunner::run_schedule_rows`]) instead of the full fallback.
+//!   Faults with whole-memory behaviour (stuck-open sense-amp history,
 //!   decoder faults) and schedules whose golden run fails take the full
 //!   sweep, so outcomes are observationally identical either way —
 //!   which the one-off [`FaultSimulator::simulate_fault_schedule`]
@@ -139,16 +142,27 @@ impl FaultSimulator {
         }
     }
 
-    /// The single row a fault's observable behaviour is confined to, if
-    /// any — the pruning eligibility test.
+    /// The rows a fault's observable behaviour is confined to, if any —
+    /// the pruning eligibility test. Returns the first row and, for
+    /// two-row faults, the second (strictly greater) row.
     ///
     /// Only fault models whose behaviour depends exclusively on the
-    /// operations addressed to their own cell qualify. Coupling faults
-    /// (a second site, order-sensitive across rows), stuck-open faults
-    /// (the observation replays the sense-amp history left by *other*
-    /// rows' reads), decoder faults (whole-address-space behaviour) and
-    /// any future variant take the full sweep.
-    fn prunable_row(fault: &MemoryFault) -> Option<Address> {
+    /// operations addressed to the returned rows qualify:
+    ///
+    /// * single-row faults (stuck-at, transition, retention,
+    ///   read-disturb) involve one cell, so one row suffices;
+    /// * coupling faults involve exactly the victim and aggressor cells.
+    ///   The aggressor's state changes only on writes to its own row and
+    ///   the victim's deviation is observable only on its own row, so an
+    ///   *order-preserving* sweep restricted to the two rows applies the
+    ///   identical relative operation sequence to both cells that the
+    ///   full sweep would — the dominant pruning-fallback class in
+    ///   `date2005_baseline` universes now avoids full-sweep cost.
+    ///
+    /// Stuck-open faults (the observation replays the sense-amp history
+    /// left by *other* rows' reads), decoder faults (whole-address-space
+    /// behaviour) and any future variant take the full sweep.
+    fn prunable_rows(fault: &MemoryFault) -> Option<(Address, Option<Address>)> {
         match fault {
             MemoryFault::Cell { coord, fault } => match fault {
                 CellFault::StuckAt(_)
@@ -157,7 +171,17 @@ impl FaultSimulator {
                 | CellFault::DataRetention { .. }
                 | CellFault::ReadDestructive
                 | CellFault::DeceptiveReadDestructive
-                | CellFault::IncorrectRead => Some(coord.address),
+                | CellFault::IncorrectRead => Some((coord.address, None)),
+                CellFault::Coupling { aggressor, .. } => {
+                    let victim_row = coord.address;
+                    let aggressor_row = aggressor.address;
+                    if victim_row == aggressor_row {
+                        // Intra-word coupling degenerates to one row.
+                        Some((victim_row, None))
+                    } else {
+                        Some((victim_row.min(aggressor_row), Some(victim_row.max(aggressor_row))))
+                    }
+                }
                 _ => None,
             },
             MemoryFault::Decoder(_) => None,
@@ -180,14 +204,19 @@ impl FaultSimulator {
             .inject_into(sram)
             .expect("fault universe must match the simulator geometry");
         let runner = MarchRunner::new();
-        let run = match Self::prunable_row(fault).filter(|_| prep.golden_passed) {
-            Some(row) => {
-                let mut run = runner
-                    .run_schedule_at(sram, prep.schedule, &prep.patterns, row)
-                    .expect("march programme must match the simulator geometry");
-                // The restricted sweep performed only this row's share of
-                // the operations; report the whole memory's count, as the
-                // full run would.
+        let run = match Self::prunable_rows(fault).filter(|_| prep.golden_passed) {
+            Some((row, second)) => {
+                let mut run = match second {
+                    None => runner
+                        .run_schedule_at(sram, prep.schedule, &prep.patterns, row)
+                        .expect("march programme must match the simulator geometry"),
+                    Some(other) => runner
+                        .run_schedule_rows(sram, prep.schedule, &prep.patterns, &[row, other])
+                        .expect("march programme must match the simulator geometry"),
+                };
+                // The restricted sweep performed only the visited rows'
+                // share of the operations; report the whole memory's
+                // count, as the full run would.
                 run.operations = prep.full_operations;
                 run
             }

@@ -10,12 +10,14 @@
 //! * schedules whose golden fault-free run fails (so pruning must be
 //!   disabled) still agree with the oracle.
 
-use fault_models::{FaultList, FaultUniverse};
+use fault_models::{FaultList, FaultUniverse, MemoryFault};
 use march::{
     algorithms, AddressOrder, CoverageReport, DataBackground, FaultSimulator, MarchElement, MarchOp,
     MarchSchedule, MarchTest, ShardPlan,
 };
-use sram_model::MemConfig;
+use proptest::prelude::*;
+use sram_model::cell::CellCoord;
+use sram_model::{Address, CellFault, CouplingKind, MemConfig};
 
 fn config() -> MemConfig {
     MemConfig::new(16, 5).unwrap()
@@ -144,6 +146,100 @@ fn failing_golden_runs_disable_pruning_and_still_match_the_oracle() {
         // Every row fails in this programme, not just the faulty one —
         // proof that the full sweep actually ran.
         assert!(outcome.run.failing_addresses().len() == config().words() as usize);
+    }
+}
+
+/// The eight coupling sensitisations (2 CFid, 2 CFin, 4 CFst) between
+/// one victim/aggressor cell pair.
+fn coupling_modes() -> Vec<CouplingKind> {
+    let mut modes = Vec::new();
+    for rises in [false, true] {
+        for forced in [false, true] {
+            modes.push(CouplingKind::Idempotent {
+                aggressor_rises: rises,
+                forced_value: forced,
+            });
+        }
+        modes.push(CouplingKind::Inversion {
+            aggressor_rises: rises,
+        });
+    }
+    for aggressor_value in [false, true] {
+        for forced in [false, true] {
+            modes.push(CouplingKind::State {
+                aggressor_value,
+                forced_value: forced,
+            });
+        }
+    }
+    modes
+}
+
+#[test]
+fn coupling_two_row_pruned_sweeps_match_the_unpruned_oracle_for_every_mode() {
+    // Victim/aggressor row pairs covering the interesting geometries:
+    // same row (intra-word), adjacent rows in both orders, far-apart
+    // rows in both orders, and the address-space extremes.
+    let pairs: [(u64, usize, u64, usize); 7] = [
+        (3, 0, 3, 2),  // same row, different bits
+        (4, 1, 5, 1),  // victim just below aggressor
+        (9, 2, 8, 0),  // victim just above aggressor
+        (1, 3, 13, 4), // far apart, ascending
+        (14, 0, 2, 3), // far apart, descending
+        (0, 0, 15, 4), // extremes
+        (15, 4, 0, 0), // extremes, reversed
+    ];
+    let sim = FaultSimulator::new(config());
+    let schedule = nwrtm_schedule();
+    let mut universe = FaultList::new();
+    for (victim_row, victim_bit, aggressor_row, aggressor_bit) in pairs {
+        let victim = CellCoord::new(Address::new(victim_row), victim_bit);
+        let aggressor = CellCoord::new(Address::new(aggressor_row), aggressor_bit);
+        for kind in coupling_modes() {
+            universe.push(MemoryFault::cell(victim, CellFault::Coupling { aggressor, kind }));
+        }
+    }
+    let batched = sim.simulate_universe(&schedule, &universe);
+    for (fault, outcome) in universe.iter().zip(&batched) {
+        let oracle = sim.simulate_fault_schedule(&schedule, fault);
+        assert_eq!(
+            &oracle, outcome,
+            "two-row pruned outcome diverged from the full-sweep oracle for {fault}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Property: for an arbitrary victim/aggressor pair and any
+    /// coupling sensitisation, the (possibly two-row-pruned) batched
+    /// run equals the unpruned full-sweep oracle under a
+    /// multi-background schedule with descending elements.
+    #[test]
+    fn arbitrary_coupling_pairs_prune_identically(
+        victim_row in 0u64..16,
+        victim_bit in 0usize..5,
+        aggressor_row in 0u64..16,
+        aggressor_bit in 0usize..5,
+        mode_index in 0usize..8,
+    ) {
+        let victim = CellCoord::new(Address::new(victim_row), victim_bit);
+        let mut aggressor = CellCoord::new(Address::new(aggressor_row), aggressor_bit);
+        if victim == aggressor {
+            // A cell cannot couple to itself; retarget the aggressor.
+            aggressor = CellCoord::new(Address::new((aggressor_row + 1) % 16), aggressor_bit);
+        }
+        let kind = coupling_modes()[mode_index];
+        let fault = MemoryFault::cell(victim, CellFault::Coupling { aggressor, kind });
+        let mut universe = FaultList::new();
+        universe.push(fault);
+
+        let sim = FaultSimulator::new(config());
+        let schedule = nwrtm_schedule();
+        let batched = sim.simulate_universe(&schedule, &universe);
+        let oracle = sim.simulate_fault_schedule(&schedule, &fault);
+        prop_assert_eq!(&batched[0], &oracle);
     }
 }
 
