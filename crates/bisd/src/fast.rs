@@ -191,11 +191,13 @@ impl FastScheme {
 
     /// Diagnoses a population under an explicit [`ShardPlan`].
     ///
-    /// The population is split into contiguous per-worker segments
-    /// (memories are independent given the shared write stream); each
-    /// worker replays the planned schedule over its segment with its own
+    /// The population is split into contiguous segments by the
+    /// deterministic executor — per-worker chunks (even or IO-width
+    /// cost-weighted) or fixed-size stolen blocks, depending on the
+    /// plan's strategy; memories are independent given the shared write
+    /// stream. Each segment replays the planned schedule with its own
     /// [`GoldenStore`] segment view, PSCs and comparator, and the
-    /// per-worker logs are merged back in exact population order — the
+    /// per-segment logs are merged back in exact population order — the
     /// result is byte-identical to the sequential (1-thread) walk for
     /// every plan, which the population-shard determinism suite asserts.
     ///
@@ -250,54 +252,42 @@ impl FastScheme {
             }
         }
 
-        let log = if plan.shard_count(memories.len()) <= 1 {
-            let (_, log) = self.run_segment(
-                memories,
-                &configs,
-                &generator,
-                &backgrounds,
-                &schedule,
-                &plans,
-                trigger,
-            )?;
+        // The population runs on the deterministic executor over
+        // contiguous mutable segments (one per shard for the contiguous
+        // strategies, one per block under stealing). Per-memory cost is
+        // dominated by the PSC shift window, so segments are weighted
+        // by IO width plus a fixed per-operation overhead.
+        let worker_results: Vec<Result<(Vec<u64>, DiagnosisLog), MemError>> = plan.run_segments(
+            memories,
+            |index, _| configs[index].width() as u64 + 4,
+            |base, segment| {
+                self.run_segment(
+                    segment,
+                    &configs[base..base + segment.len()],
+                    &generator,
+                    &backgrounds,
+                    &schedule,
+                    &plans,
+                    trigger,
+                )
+            },
+        );
+        // Reassemble the population log in exact sequential order: the
+        // global operation sequence number is the primary key and
+        // segment order (== memory order, since segments are contiguous
+        // and per-worker sequences are nondecreasing) breaks ties, so a
+        // stable sort over the segment-ordered concatenation reproduces
+        // the 1-thread walk byte for byte. A single segment (the
+        // sequential path) is already that walk, so its log passes
+        // through untouched.
+        let log = if worker_results.len() == 1 {
+            let (_, log) = worker_results.into_iter().next().expect("one segment")?;
             log
         } else {
-            let chunk = plan.chunk_size(memories.len());
-            let (generator, backgrounds, schedule, plans) = (&generator, &backgrounds, &schedule, &plans);
-            let worker_results: Vec<Result<(Vec<u64>, DiagnosisLog), MemError>> =
-                std::thread::scope(|scope| {
-                    let workers: Vec<_> = memories
-                        .chunks_mut(chunk)
-                        .zip(configs.chunks(chunk))
-                        .map(|(segment, segment_configs)| {
-                            scope.spawn(move || {
-                                self.run_segment(
-                                    segment,
-                                    segment_configs,
-                                    generator,
-                                    backgrounds,
-                                    schedule,
-                                    plans,
-                                    trigger,
-                                )
-                            })
-                        })
-                        .collect();
-                    workers
-                        .into_iter()
-                        .map(|worker| worker.join().expect("population shard worker panicked"))
-                        .collect()
-                });
-            // Reassemble the population log in exact sequential order:
-            // the global operation sequence number is the primary key
-            // and segment order (== memory order, since segments are
-            // contiguous and per-worker sequences are nondecreasing)
-            // breaks ties, so a stable sort over the segment-ordered
-            // concatenation reproduces the 1-thread walk byte for byte.
             let mut tagged: Vec<(u64, DiagnosisRecord)> = Vec::new();
             for result in worker_results {
-                let (sequences, log) = result?;
-                tagged.extend(sequences.into_iter().zip(log.into_records()));
+                let (sequences, segment_log) = result?;
+                tagged.extend(sequences.into_iter().zip(segment_log.into_records()));
             }
             tagged.sort_by_key(|&(sequence, _)| sequence);
             let mut log = DiagnosisLog::new();

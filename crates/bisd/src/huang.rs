@@ -200,6 +200,14 @@ impl HuangScheme {
 /// Runs one element-group pass over the whole population under a shard
 /// plan, appending located-fault records to `log` in memory order, and
 /// returns whether any memory located something new.
+///
+/// The population (zipped with its per-memory known-site sets) runs on
+/// the deterministic executor over contiguous mutable segments; the
+/// baseline's bit-serial cost is `words × width` cycles per memory, so
+/// cost-aware strategies weight each memory by its cell count. The
+/// per-segment logs concatenate in memory order and the found-anything
+/// verdicts OR-reduce — both associative over adjacent segments, so the
+/// merged pass equals the sequential walk for every plan.
 fn run_population_pass(
     plan: ShardPlan,
     memories: &mut [MemoryUnderDiagnosis],
@@ -209,35 +217,19 @@ fn run_population_pass(
     log: &mut DiagnosisLog,
     per_direction_budget: usize,
 ) -> Result<bool, MemError> {
-    let (found_new, pass_log) = if plan.shard_count(memories.len()) <= 1 {
-        run_segment_pass(memories, known, test, width_patterns, per_direction_budget)?
-    } else {
-        let chunk = plan.chunk_size(memories.len());
-        let worker_results: Vec<Result<(bool, DiagnosisLog), MemError>> = std::thread::scope(|scope| {
-            let workers: Vec<_> = memories
-                .chunks_mut(chunk)
-                .zip(known.chunks_mut(chunk))
-                .map(|(segment, known_segment)| {
-                    scope.spawn(move || {
-                        run_segment_pass(segment, known_segment, test, width_patterns, per_direction_budget)
-                    })
-                })
-                .collect();
-            workers
-                .into_iter()
-                .map(|worker| worker.join().expect("diagnosis shard worker panicked"))
-                .collect()
-        });
-        let mut found_new = false;
-        let mut merged = DiagnosisLog::new();
-        for result in worker_results {
-            let (segment_found, segment_log) = result?;
-            found_new |= segment_found;
-            merged.merge(segment_log);
-        }
-        (found_new, merged)
-    };
-    log.merge(pass_log);
+    let mut pairs: Vec<(&mut MemoryUnderDiagnosis, &mut KnownSites)> =
+        memories.iter_mut().zip(known.iter_mut()).collect();
+    let worker_results: Vec<Result<(bool, DiagnosisLog), MemError>> = plan.run_segments(
+        &mut pairs,
+        |_, (memory, _)| memory.config().cells(),
+        |_, segment| run_segment_pass(segment, test, width_patterns, per_direction_budget),
+    );
+    let mut found_new = false;
+    for result in worker_results {
+        let (segment_found, segment_log) = result?;
+        found_new |= segment_found;
+        log.merge(segment_log);
+    }
     Ok(found_new)
 }
 
@@ -245,15 +237,14 @@ fn run_population_pass(
 /// returning the segment's located-fault records (in memory order) and
 /// whether anything new was located.
 fn run_segment_pass(
-    memories: &mut [MemoryUnderDiagnosis],
-    known: &mut [KnownSites],
+    segment: &mut [(&mut MemoryUnderDiagnosis, &mut KnownSites)],
     test: &MarchTest,
     width_patterns: &BTreeMap<usize, BackgroundPatterns>,
     per_direction_budget: usize,
 ) -> Result<(bool, DiagnosisLog), MemError> {
     let mut log = DiagnosisLog::new();
     let mut found_new = false;
-    for (memory, known_sites) in memories.iter_mut().zip(known.iter_mut()) {
+    for (memory, known_sites) in segment.iter_mut() {
         let patterns = &width_patterns[&memory.config().width()];
         let found = run_group_serially(
             memory,

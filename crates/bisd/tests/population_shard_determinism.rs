@@ -14,7 +14,7 @@
 
 use bisd::{DiagnosisScheme, DrfMode, FastScheme, HuangScheme, MemoryUnderDiagnosis};
 use fault_models::{DefectProfile, FaultInjector};
-use march::ShardPlan;
+use march::{ShardPlan, ShardStrategy};
 use sram_model::{MemConfig, MemoryId};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 7, 32];
@@ -135,6 +135,44 @@ fn huang_scheme_output_is_byte_identical_for_every_thread_count() {
             );
             assert_eq!(sharded.iterations, sequential.iterations);
             assert_eq!(sharded.log.records(), sequential.log.records());
+        }
+    }
+}
+
+#[test]
+fn both_schemes_are_byte_identical_under_every_strategy() {
+    // The population mixes IO widths (the fast scheme's cost model) and
+    // cell counts (the baseline's), so cost-weighted segment boundaries
+    // differ from even ones, and a block size of 2 forces stealing to
+    // cut mid-population — none of which may show in the output.
+    let fast_sequential = {
+        let mut population = population(13, 0.04);
+        FastScheme::new(10.0)
+            .diagnose_with(ShardPlan::sequential(), &mut population)
+            .expect("sequential fast run")
+    };
+    let huang_sequential = {
+        let mut population = population(13, 0.04);
+        HuangScheme::new(10.0)
+            .diagnose_with(ShardPlan::sequential(), &mut population)
+            .expect("sequential baseline run")
+    };
+    assert!(!fast_sequential.is_clean(), "the population must contain faults");
+    for strategy in ShardStrategy::all() {
+        for threads in [2, 7, 32] {
+            let plan = ShardPlan::with_threads(threads)
+                .with_strategy(strategy)
+                .with_block_size(2);
+            let mut fast_population = population(13, 0.04);
+            let fast = FastScheme::new(10.0)
+                .diagnose_with(plan, &mut fast_population)
+                .expect("sharded fast run");
+            assert_eq!(fast, fast_sequential, "fast scheme diverged under {plan}");
+            let mut huang_population = population(13, 0.04);
+            let huang = HuangScheme::new(10.0)
+                .diagnose_with(plan, &mut huang_population)
+                .expect("sharded baseline run");
+            assert_eq!(huang, huang_sequential, "baseline diverged under {plan}");
         }
     }
 }

@@ -67,5 +67,5 @@ pub use bisd::{
     MemoryUnderDiagnosis,
 };
 pub use fault_models::{DefectProfile, FaultClass, FaultInjector, FaultList, FaultUniverse, MemoryFault};
-pub use march::{algorithms, DataBackground, MarchSchedule, MarchTest, ShardPlan};
+pub use march::{algorithms, DataBackground, MarchSchedule, MarchTest, ShardPlan, ShardStrategy};
 pub use sram_model::{Address, DataWord, MemConfig, MemoryId, Sram};

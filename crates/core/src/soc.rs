@@ -115,12 +115,14 @@ impl SocBuilder {
 
     /// Builds the population under an explicit [`ShardPlan`].
     ///
-    /// Defect injection is sharded over contiguous per-worker segments
-    /// of the memory list. Memory `i` always draws from RNG stream `i`
-    /// of the builder seed ([`FaultInjector::for_stream`]), so the
-    /// built population is bit-identical for every worker count — a
-    /// 512-memory benchmark SoC no longer costs more to build than to
-    /// diagnose, without giving up reproducibility.
+    /// Defect injection runs on the deterministic executor, with each
+    /// memory weighted by its cell count so heterogeneous populations
+    /// (a few big e-SRAMs among many small buffers) split evenly under
+    /// the cost-aware strategies. Memory `i` always draws from RNG
+    /// stream `i` of the builder seed ([`FaultInjector::for_stream`]),
+    /// so the built population is bit-identical for every strategy and
+    /// worker count — a 512-memory benchmark SoC no longer costs more
+    /// to build than to diagnose, without giving up reproducibility.
     ///
     /// # Errors
     ///
@@ -146,42 +148,15 @@ impl SocBuilder {
             Ok(memory.with_spares(spares))
         };
 
-        if plan.shard_count(self.configs.len()) <= 1 {
-            let memories = self
-                .configs
-                .iter()
-                .enumerate()
-                .map(|(index, &config)| build_member(index, config))
-                .collect::<Result<Vec<_>, _>>()?;
-            return Ok(Soc { memories });
-        }
-
-        let chunk = plan.chunk_size(self.configs.len());
-        let build_member = &build_member;
-        let segments: Vec<Result<Vec<MemoryUnderDiagnosis>, MemError>> = std::thread::scope(|scope| {
-            let workers: Vec<_> = self
-                .configs
-                .chunks(chunk)
-                .enumerate()
-                .map(|(shard_index, segment)| {
-                    let base = shard_index * chunk;
-                    scope.spawn(move || {
-                        segment
-                            .iter()
-                            .enumerate()
-                            .map(|(offset, &config)| build_member(base + offset, config))
-                            .collect::<Result<Vec<_>, _>>()
-                    })
-                })
-                .collect();
-            workers
-                .into_iter()
-                .map(|worker| worker.join().expect("SoC build worker panicked"))
-                .collect()
-        });
-        let mut memories = Vec::with_capacity(self.configs.len());
-        for segment in segments {
-            memories.extend(segment?);
+        let built: Vec<Result<MemoryUnderDiagnosis, MemError>> = plan.map_slots(
+            &self.configs,
+            |_, config| config.cells(),
+            || (),
+            |_, index, &config| build_member(index, config),
+        );
+        let mut memories = Vec::with_capacity(built.len());
+        for member in built {
+            memories.push(member?);
         }
         Ok(Soc { memories })
     }

@@ -7,7 +7,7 @@
 //! ∈ {1, 2, 7, 32} so the default-plan path is exercised at every
 //! worker count too.
 
-use esram_diag::{DiagnosisScheme, FastScheme, ShardPlan, Soc};
+use esram_diag::{DiagnosisScheme, FastScheme, ShardPlan, ShardStrategy, Soc};
 use proptest::prelude::*;
 
 /// Compares two populations member by member: identity, geometry,
@@ -72,9 +72,27 @@ proptest! {
         let words = 1u64 << words_exp;
         let rate = f64::from(rate_millis) / 1000.0;
         let sequential = build(memories, words, width, rate, seed, drf, ShardPlan::sequential());
-        for threads in [2usize, 7, 32] {
-            let sharded = build(memories, words, width, rate, seed, drf, ShardPlan::with_threads(threads));
-            assert_bit_identical(&sequential, &sharded, &format!("{threads} threads"));
+        // Rotate strategies across the thread counts so every case
+        // still costs three sharded builds while the cases jointly
+        // cover the full strategy x worker-count grid.
+        let combos = [
+            (ShardStrategy::Even, 2usize),
+            (ShardStrategy::Cost, 7),
+            (ShardStrategy::Steal, 32),
+            (ShardStrategy::Steal, 2),
+            (ShardStrategy::Even, 7),
+            (ShardStrategy::Cost, 32),
+            (ShardStrategy::Cost, 2),
+            (ShardStrategy::Steal, 7),
+            (ShardStrategy::Even, 32),
+        ];
+        let rotation = (seed % 3) as usize * 3;
+        for &(strategy, threads) in combos[rotation..rotation + 3].iter() {
+            let plan = ShardPlan::with_threads(threads)
+                .with_strategy(strategy)
+                .with_block_size(1 + (seed % 7) as usize);
+            let sharded = build(memories, words, width, rate, seed, drf, plan);
+            assert_bit_identical(&sequential, &sharded, &plan.to_string());
         }
     }
 }
@@ -141,14 +159,17 @@ fn benchmark_population_builds_identically_at_every_worker_count() {
         .build_with(ShardPlan::sequential())
         .expect("population builds");
     assert!(sequential.injected_faults() > 0);
-    for threads in [2usize, 32] {
-        let sharded = Soc::builder()
-            .memories(64, 512, 100)
-            .expect("valid geometry")
-            .defect_rate(0.01)
-            .seed(2005)
-            .build_with(ShardPlan::with_threads(threads))
-            .expect("population builds");
-        assert_bit_identical(&sequential, &sharded, &format!("benchmark, {threads} threads"));
+    for strategy in ShardStrategy::all() {
+        for threads in [2usize, 32] {
+            let plan = ShardPlan::with_threads(threads).with_strategy(strategy);
+            let sharded = Soc::builder()
+                .memories(64, 512, 100)
+                .expect("valid geometry")
+                .defect_rate(0.01)
+                .seed(2005)
+                .build_with(plan)
+                .expect("population builds");
+            assert_bit_identical(&sequential, &sharded, &format!("benchmark, {plan}"));
+        }
     }
 }

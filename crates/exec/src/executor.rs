@@ -1,0 +1,419 @@
+//! The deterministic executors: slot-per-item mapping and contiguous
+//! mutable-segment processing.
+//!
+//! Both entry points live as inherent methods on [`ShardPlan`] so call
+//! sites that already hold a plan need no extra imports. Both share the
+//! same contract:
+//!
+//! * **Empty input spawns nothing** — the degenerate `shard_count(0)` /
+//!   `chunk_size(0)` geometry is never consulted past the fast path.
+//! * **One worker runs inline** — `ShardPlan::sequential()` (and any
+//!   plan over a single-item list) executes on the calling thread, so
+//!   the sequential path *is* the 1-worker instance of the parallel
+//!   one.
+//! * **Output order is item order** for every strategy and every worker
+//!   count: contiguous chunks concatenate in chunk order; stolen blocks
+//!   merge in block-index order through per-block slots, regardless of
+//!   which thread claimed which block.
+
+use crate::plan::{block_ranges, cost_ranges, even_ranges, ShardPlan, ShardStrategy};
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A claimable mutable block under [`ShardStrategy::Steal`]: the base
+/// item index of the block plus the block's slice, taken exactly once
+/// by whichever worker claims the block's index.
+type ClaimableBlock<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+
+/// Per-item cost estimate used by [`ShardStrategy::Cost`] (and by the
+/// block-stealing critical-path model in benches).
+///
+/// Costs are relative weights, not absolute times: only their ratios
+/// steer the partition. Implement it on items whose cost is intrinsic
+/// and run them through [`ShardPlan::map_slots_costed`] /
+/// [`ShardPlan::run_segments_costed`]; call sites whose cost needs
+/// outside context (a geometry, a golden-run verdict) pass a closure to
+/// [`ShardPlan::map_slots`] / [`ShardPlan::run_segments`] instead.
+pub trait WorkCost {
+    /// Estimated relative cost of processing this item.
+    fn cost(&self) -> u64;
+}
+
+impl<T: WorkCost> WorkCost for &T {
+    fn cost(&self) -> u64 {
+        (*self).cost()
+    }
+}
+
+impl ShardPlan {
+    /// [`ShardPlan::map_slots`] for items whose cost is intrinsic: the
+    /// per-item estimate comes from the [`WorkCost`] implementation
+    /// instead of a closure.
+    pub fn map_slots_costed<T, S, R>(
+        &self,
+        items: &[T],
+        init: impl Fn() -> S + Sync,
+        work: impl Fn(&mut S, usize, &T) -> R + Sync,
+    ) -> Vec<R>
+    where
+        T: WorkCost + Sync,
+        R: Send,
+    {
+        self.map_slots(items, |_, item| item.cost(), init, work)
+    }
+
+    /// [`ShardPlan::run_segments`] for items whose cost is intrinsic:
+    /// the per-item estimate comes from the [`WorkCost`] implementation
+    /// instead of a closure.
+    pub fn run_segments_costed<T, R>(
+        &self,
+        items: &mut [T],
+        work: impl Fn(usize, &mut [T]) -> R + Sync,
+    ) -> Vec<R>
+    where
+        T: WorkCost + Send,
+        R: Send,
+    {
+        self.run_segments(items, |_, item| item.cost(), work)
+    }
+
+    /// Maps every item to one output slot, deterministically, with one
+    /// scratch state per worker.
+    ///
+    /// `cost` estimates per-item work for [`ShardStrategy::Cost`] (it
+    /// is not called for the other strategies); `init` builds one
+    /// scratch state per worker (a reusable memory, an RNG — anything
+    /// whose reuse across items has no observable effect); `work` maps
+    /// `(state, index, item)` to the item's result. Returns the results
+    /// in exact item order for every strategy and worker count.
+    pub fn map_slots<T, S, R>(
+        &self,
+        items: &[T],
+        cost: impl Fn(usize, &T) -> u64 + Sync,
+        init: impl Fn() -> S + Sync,
+        work: impl Fn(&mut S, usize, &T) -> R + Sync,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let run_inline = |items: &[T]| {
+            let mut state = init();
+            items
+                .iter()
+                .enumerate()
+                .map(|(index, item)| work(&mut state, index, item))
+                .collect::<Vec<R>>()
+        };
+        if self.shard_count(items.len()) <= 1 {
+            return run_inline(items);
+        }
+        match self.strategy() {
+            ShardStrategy::Even | ShardStrategy::Cost => {
+                let ranges = self.contiguous_ranges(items.len(), |index| cost(index, &items[index]));
+                if ranges.len() <= 1 {
+                    return run_inline(items);
+                }
+                std::thread::scope(|scope| {
+                    let workers: Vec<_> = ranges
+                        .into_iter()
+                        .map(|range| {
+                            let (init, work) = (&init, &work);
+                            scope.spawn(move || {
+                                let mut state = init();
+                                items[range.clone()]
+                                    .iter()
+                                    .zip(range)
+                                    .map(|(item, index)| work(&mut state, index, item))
+                                    .collect::<Vec<R>>()
+                            })
+                        })
+                        .collect();
+                    let mut merged = Vec::with_capacity(items.len());
+                    for worker in workers {
+                        merged.extend(worker.join().expect("shard worker panicked"));
+                    }
+                    merged
+                })
+            }
+            ShardStrategy::Steal => {
+                let blocks = block_ranges(items.len(), self.block_size());
+                let workers = self.threads().min(blocks.len());
+                if workers <= 1 {
+                    return run_inline(items);
+                }
+                let slots: Vec<Mutex<Option<Vec<R>>>> = blocks.iter().map(|_| Mutex::new(None)).collect();
+                let next = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| {
+                            let mut state = init();
+                            loop {
+                                let claimed = next.fetch_add(1, Ordering::Relaxed);
+                                let Some(block) = blocks.get(claimed) else { break };
+                                let results: Vec<R> = items[block.clone()]
+                                    .iter()
+                                    .zip(block.clone())
+                                    .map(|(item, index)| work(&mut state, index, item))
+                                    .collect();
+                                *slots[claimed].lock().expect("block slot poisoned") = Some(results);
+                            }
+                        });
+                    }
+                });
+                let mut merged = Vec::with_capacity(items.len());
+                for slot in slots {
+                    let results = slot
+                        .into_inner()
+                        .expect("block slot poisoned")
+                        .expect("every block was claimed and completed");
+                    merged.extend(results);
+                }
+                merged
+            }
+        }
+    }
+
+    /// Processes disjoint contiguous mutable segments of `items`,
+    /// returning one result per segment in segment (item) order.
+    ///
+    /// `work` receives each segment together with the index of its
+    /// first item, so callers can slice parallel read-only arrays to
+    /// match. How many segments exist depends on the strategy (one per
+    /// shard for the contiguous strategies, one per block for
+    /// stealing), so callers must merge the per-segment results with an
+    /// operation that is associative over adjacent segments — which the
+    /// workspace's merges (ordered concatenation, OR-reduction, stable
+    /// sort by a shared sequence key) all are.
+    pub fn run_segments<T, R>(
+        &self,
+        items: &mut [T],
+        cost: impl Fn(usize, &T) -> u64 + Sync,
+        work: impl Fn(usize, &mut [T]) -> R + Sync,
+    ) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        if self.shard_count(items.len()) <= 1 {
+            return vec![work(0, items)];
+        }
+        match self.strategy() {
+            ShardStrategy::Even | ShardStrategy::Cost => {
+                let ranges = self.contiguous_ranges(items.len(), |index| cost(index, &items[index]));
+                if ranges.len() <= 1 {
+                    return vec![work(0, items)];
+                }
+                let mut segments: Vec<(usize, &mut [T])> = Vec::with_capacity(ranges.len());
+                let mut rest = items;
+                for range in &ranges {
+                    let (segment, tail) = rest.split_at_mut(range.len());
+                    segments.push((range.start, segment));
+                    rest = tail;
+                }
+                std::thread::scope(|scope| {
+                    let workers: Vec<_> = segments
+                        .into_iter()
+                        .map(|(base, segment)| {
+                            let work = &work;
+                            scope.spawn(move || work(base, segment))
+                        })
+                        .collect();
+                    workers
+                        .into_iter()
+                        .map(|worker| worker.join().expect("segment worker panicked"))
+                        .collect()
+                })
+            }
+            ShardStrategy::Steal => {
+                let block_size = self.block_size();
+                let blocks: Vec<ClaimableBlock<'_, T>> = items
+                    .chunks_mut(block_size)
+                    .enumerate()
+                    .map(|(index, block)| Mutex::new(Some((index * block_size, block))))
+                    .collect();
+                let workers = self.threads().min(blocks.len());
+                if workers <= 1 {
+                    return blocks
+                        .into_iter()
+                        .map(|block| {
+                            let (base, segment) = block
+                                .into_inner()
+                                .expect("block slot poisoned")
+                                .expect("block present");
+                            work(base, segment)
+                        })
+                        .collect();
+                }
+                let slots: Vec<Mutex<Option<R>>> = blocks.iter().map(|_| Mutex::new(None)).collect();
+                let next = AtomicUsize::new(0);
+                std::thread::scope(|scope| {
+                    for _ in 0..workers {
+                        scope.spawn(|| loop {
+                            let claimed = next.fetch_add(1, Ordering::Relaxed);
+                            let Some(block) = blocks.get(claimed) else { break };
+                            let (base, segment) = block
+                                .lock()
+                                .expect("block slot poisoned")
+                                .take()
+                                .expect("each block is claimed exactly once");
+                            *slots[claimed].lock().expect("result slot poisoned") = Some(work(base, segment));
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|slot| {
+                        slot.into_inner()
+                            .expect("result slot poisoned")
+                            .expect("every block was claimed and completed")
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The contiguous partition the plan would use for `len` items
+    /// under its strategy, with empty ranges (possible when one item
+    /// dominates the cost total) dropped.
+    fn contiguous_ranges(&self, len: usize, cost_of: impl Fn(usize) -> u64) -> Vec<Range<usize>> {
+        let ranges = match self.strategy() {
+            ShardStrategy::Even => even_ranges(len, self.shard_count(len)),
+            ShardStrategy::Cost => {
+                let costs: Vec<u64> = (0..len).map(cost_of).collect();
+                cost_ranges(&costs, self.shard_count(len))
+            }
+            ShardStrategy::Steal => unreachable!("stealing does not use contiguous shard ranges"),
+        };
+        ranges.into_iter().filter(|range| !range.is_empty()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::ShardStrategy;
+
+    fn plans() -> Vec<ShardPlan> {
+        let mut plans = Vec::new();
+        for strategy in ShardStrategy::all() {
+            for threads in [1, 2, 7, 32] {
+                plans.push(ShardPlan::with_threads(threads).with_strategy(strategy));
+            }
+        }
+        plans
+    }
+
+    #[test]
+    fn map_slots_preserves_item_order_with_per_worker_state() {
+        let items: Vec<u64> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|&v| v * 3).collect();
+        for plan in plans() {
+            let mapped = plan.map_slots(&items, |_, &v| v + 1, || 0u64, |_, _, &v| v * 3);
+            assert_eq!(mapped, expected, "order diverged under {plan}");
+        }
+    }
+
+    #[test]
+    fn run_segments_covers_every_item_exactly_once() {
+        for plan in plans() {
+            let mut items: Vec<u64> = vec![0; 53];
+            let segments = plan.run_segments(
+                &mut items,
+                |index, _| (index as u64 % 5) + 1,
+                |base, segment| {
+                    for value in segment.iter_mut() {
+                        *value += 1;
+                    }
+                    (base, segment.len())
+                },
+            );
+            assert!(
+                items.iter().all(|&v| v == 1),
+                "an item was skipped or repeated under {plan}"
+            );
+            // Segments are disjoint, contiguous and in item order.
+            let mut next = 0;
+            for (base, len) in segments {
+                assert_eq!(base, next, "segment bases out of order under {plan}");
+                next += len;
+            }
+            assert_eq!(next, items.len());
+        }
+    }
+
+    #[test]
+    fn empty_input_returns_without_spawning_for_every_strategy() {
+        for strategy in ShardStrategy::all() {
+            let plan = ShardPlan::with_threads(32).with_strategy(strategy);
+            let empty: [u64; 0] = [];
+            let mapped: Vec<u64> = plan.map_slots(&empty, |_, _| 1, || (), |_, _, &v| v);
+            assert!(mapped.is_empty(), "empty map under {strategy} must be empty");
+            let mut none: [u64; 0] = [];
+            let segments: Vec<usize> = plan.run_segments(&mut none, |_, _| 1, |_, s| s.len());
+            assert!(
+                segments.is_empty(),
+                "empty segments under {strategy} must be empty"
+            );
+            // The degenerate shard geometry stays well-defined even
+            // though the fast path never consults it.
+            assert_eq!(plan.shard_count(0), 1);
+            assert_eq!(plan.chunk_size(0), 1);
+        }
+    }
+
+    #[test]
+    fn single_item_runs_inline_on_any_plan() {
+        for plan in plans() {
+            let mapped = plan.map_slots(&[41u64], |_, _| 7, || (), |_, _, &v| v + 1);
+            assert_eq!(mapped, vec![42]);
+        }
+    }
+
+    #[test]
+    fn costed_entry_points_use_the_intrinsic_work_cost() {
+        struct Job(u64);
+        impl crate::executor::WorkCost for Job {
+            fn cost(&self) -> u64 {
+                self.0
+            }
+        }
+        let jobs: Vec<Job> = (0..40).map(|i| Job(if i < 36 { 1 } else { 100 })).collect();
+        let expected: Vec<u64> = jobs.iter().map(|job| job.0 * 2).collect();
+        for plan in plans() {
+            let mapped = plan.map_slots_costed(&jobs, || (), |_, _, job| job.0 * 2);
+            assert_eq!(mapped, expected, "costed map diverged under {plan}");
+            let mut working: Vec<Job> = (0..40).map(|i| Job(if i < 36 { 1 } else { 100 })).collect();
+            let segments = plan.run_segments_costed(&mut working, |base, segment| (base, segment.len()));
+            let mut next = 0;
+            for (base, len) in segments {
+                assert_eq!(base, next, "costed segments out of order under {plan}");
+                next += len;
+            }
+            assert_eq!(next, jobs.len());
+        }
+    }
+
+    #[test]
+    fn tiny_block_sizes_still_merge_in_item_order() {
+        let items: Vec<u64> = (0..31).collect();
+        for block_size in [1, 2, 3, 16, 100] {
+            let plan = ShardPlan::with_threads(7)
+                .with_strategy(ShardStrategy::Steal)
+                .with_block_size(block_size);
+            let mapped = plan.map_slots(&items, |_, _| 1, || (), |_, index, &v| (index as u64, v));
+            let expected: Vec<(u64, u64)> = items.iter().map(|&v| (v, v)).collect();
+            assert_eq!(
+                mapped, expected,
+                "steal merge diverged at block size {block_size}"
+            );
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Deterministic parallel execution for the `esram-diag` workspace.
+//!
+//! Three subsystems run the same shape of work — a list of independent
+//! items (faults to simulate, memories to diagnose, memories to build)
+//! processed by a handful of worker threads whose merged output must be
+//! **byte-identical to the sequential walk at every worker count**.
+//! This crate centralises that discipline so no call site hand-rolls
+//! its own `std::thread::scope` + chunk/merge bookkeeping:
+//!
+//! * [`ShardPlan`] carries the tunables: worker count
+//!   ([`THREADS_ENV`] overridable), scheduling strategy
+//!   ([`SCHED_ENV`] overridable) and the stealing block size.
+//! * [`ShardStrategy::Even`] splits items into contiguous equal-count
+//!   chunks (the pre-executor behaviour).
+//! * [`ShardStrategy::Cost`] splits items into contiguous chunks whose
+//!   *estimated cost* is balanced: callers supply a per-item cost (the
+//!   [`WorkCost`] trait, or any closure) and the chunk boundaries are
+//!   computed once from prefix sums — the partition is a pure function
+//!   of the item costs and the shard count.
+//! * [`ShardStrategy::Steal`] claims fixed-size blocks from a shared
+//!   atomic counter. Which worker runs which block is scheduling noise;
+//!   every block's results are written into a pre-sized slot, and the
+//!   slots are merged in block order — so the output is byte-identical
+//!   to sequential at any worker count and any interleaving.
+//!
+//! **Determinism argument.** For every strategy, the output order is
+//! the item order: contiguous chunks concatenate in chunk order, and
+//! stolen blocks merge in block-index order regardless of which thread
+//! claimed them. The only requirement on callers is the one the
+//! workspace's call sites already satisfy: each item's result must be a
+//! pure function of the item (plus shared read-only state) — per-worker
+//! scratch state (a reusable memory, a golden store) must not leak
+//! observable effects between items.
+
+#![deny(missing_docs)]
+#![deny(missing_debug_implementations)]
+
+pub mod executor;
+pub mod plan;
+
+pub use executor::WorkCost;
+pub use plan::{
+    block_ranges, cost_ranges, even_ranges, steal_schedule, ShardPlan, ShardStrategy, DEFAULT_BLOCK_SIZE,
+    SCHED_ENV, THREADS_ENV,
+};

@@ -1,0 +1,96 @@
+//! The executor's headline guarantee, property-tested: for arbitrary
+//! item lists, cost functions, block sizes and worker counts, every
+//! strategy produces output slot-for-slot identical to the sequential
+//! map — and mutable-segment processing touches every item exactly
+//! once, in order, under every partition.
+
+use esram_exec::{ShardPlan, ShardStrategy};
+use proptest::collection;
+use proptest::prelude::*;
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 7, 32];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property: `map_slots` equals the sequential map for every
+    /// strategy, with an arbitrary (deterministic) cost function and an
+    /// arbitrary stealing block size — per-worker scratch state
+    /// included, to prove state reuse cannot reorder or drop slots.
+    #[test]
+    fn map_slots_matches_the_sequential_map(
+        items in collection::vec(any::<u64>(), 0..130),
+        cost_mul in 0u64..7,
+        cost_mod in 1u64..97,
+        block_size in 1usize..41,
+        workers_index in 0usize..4,
+    ) {
+        let threads = WORKER_COUNTS[workers_index];
+        let cost =
+            |index: usize, value: &u64| (value.wrapping_mul(cost_mul) % cost_mod) + (index as u64 % 3);
+        let sequential: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(index, &value)| value.rotate_left((index % 64) as u32))
+            .collect();
+        for strategy in ShardStrategy::all() {
+            let plan = ShardPlan::with_threads(threads)
+                .with_strategy(strategy)
+                .with_block_size(block_size);
+            let mapped = plan.map_slots(&items, cost, || 0u32, |scratch, index, &value| {
+                // Scratch state drifts per worker; results must not.
+                *scratch = scratch.wrapping_add(1);
+                value.rotate_left((index % 64) as u32)
+            });
+            prop_assert_eq!(
+                &mapped, &sequential,
+                "map diverged under {} x {} threads, block {}", strategy, threads, block_size
+            );
+        }
+    }
+
+    /// Property: `run_segments` visits every item exactly once through
+    /// contiguous, in-order segments, and the per-segment results merge
+    /// back in item order — for every strategy, block size and worker
+    /// count.
+    #[test]
+    fn run_segments_matches_the_sequential_walk(
+        items in collection::vec(any::<u64>(), 0..130),
+        cost_mod in 1u64..53,
+        block_size in 1usize..41,
+        workers_index in 0usize..4,
+    ) {
+        let threads = WORKER_COUNTS[workers_index];
+        let expected: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(index, &value)| value.wrapping_mul(3) ^ index as u64)
+            .collect();
+        for strategy in ShardStrategy::all() {
+            let mut working = items.clone();
+            let plan = ShardPlan::with_threads(threads)
+                .with_strategy(strategy)
+                .with_block_size(block_size);
+            let segments = plan.run_segments(
+                &mut working,
+                |index, value| value % cost_mod + (index as u64 & 1),
+                |base, segment| {
+                    for (offset, value) in segment.iter_mut().enumerate() {
+                        *value = value.wrapping_mul(3) ^ (base + offset) as u64;
+                    }
+                    (base, segment.len())
+                },
+            );
+            prop_assert_eq!(
+                &working, &expected,
+                "segment mutation diverged under {} x {} threads, block {}", strategy, threads, block_size
+            );
+            let mut next = 0;
+            for (base, len) in segments {
+                prop_assert_eq!(base, next, "segments out of order under {}", strategy);
+                next += len;
+            }
+            prop_assert_eq!(next, items.len(), "segments must cover every item under {}", strategy);
+        }
+    }
+}

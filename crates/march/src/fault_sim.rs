@@ -31,11 +31,14 @@
 //!   sweep, so outcomes are observationally identical either way —
 //!   which the one-off [`FaultSimulator::simulate_fault_schedule`]
 //!   oracle and the sharded-determinism suite assert.
-//! * **Sharded** — the universe is chunked ([`FaultList::chunks`]) over
-//!   `std::thread::scope` workers, one reusable `Sram` per worker
-//!   ([`ShardPlan`], default = available cores, env-overridable), and
-//!   the per-shard outcome vectors are concatenated back into exact
-//!   universe order; per-shard [`CoverageReport`]s fold associatively.
+//! * **Sharded** — the universe runs on the deterministic executor
+//!   ([`ShardPlan::map_slots`]): one reusable `Sram` per worker, a
+//!   per-fault-class cost model (rows swept: 1 for pruned single-row
+//!   classes, 2 for coupling, the whole address space for fallback
+//!   classes) steering cost-weighted chunking and block-stealing, and
+//!   outcomes merged back into exact universe order for every strategy
+//!   and worker count; per-shard [`CoverageReport`]s fold
+//!   associatively.
 
 use crate::background::DataBackground;
 use crate::coverage::CoverageReport;
@@ -248,11 +251,13 @@ impl FaultSimulator {
 
     /// Simulates every fault of a universe under an explicit shard plan.
     ///
-    /// The universe is split into contiguous chunks, each simulated by a
-    /// worker owning one reusable packed memory (`reset` + inject per
-    /// fault); the per-shard outcome vectors are concatenated back in
-    /// chunk order, so the result is byte-identical to the sequential
-    /// (1-thread) run for every plan.
+    /// The universe runs on the deterministic executor: each worker
+    /// owns one reusable packed memory (`reset` + inject per fault),
+    /// and the per-fault outcomes land in universe-order slots — so the
+    /// result is byte-identical to the sequential (1-thread) run for
+    /// every plan, strategy and worker count. Cost-aware strategies are
+    /// steered by [`FaultSimulator::fault_cost`], the rows a fault's
+    /// (possibly pruned) run will actually sweep.
     pub fn simulate_universe_with(
         &self,
         plan: ShardPlan,
@@ -260,34 +265,31 @@ impl FaultSimulator {
         universe: &FaultList,
     ) -> Vec<FaultSimOutcome> {
         let prep = self.prepare(schedule);
-        if plan.shard_count(universe.len()) <= 1 {
-            let mut sram = Sram::new(self.config);
-            return universe
-                .iter()
-                .map(|fault| self.simulate_fault_batched(&mut sram, &prep, fault))
-                .collect();
+        plan.map_slots(
+            universe.as_slice(),
+            |_, fault| self.fault_cost(prep.golden_passed, fault),
+            || Sram::new(self.config),
+            |sram, _, fault| self.simulate_fault_batched(sram, &prep, fault),
+        )
+    }
+
+    /// Relative simulation cost of one fault: the number of rows its
+    /// run will sweep. Pruned single-row classes sweep one row, coupling
+    /// faults two; fallback classes (stuck-open, decoder) — and every
+    /// fault when the golden run failed (`golden_passed == false`) —
+    /// sweep the whole address space. This is the cost model the
+    /// cost-weighted and stealing strategies balance shards with; it
+    /// never changes outcomes, only the partition.
+    pub fn fault_cost(&self, golden_passed: bool, fault: &MemoryFault) -> u64 {
+        let full_sweep = self.config.words();
+        if !golden_passed {
+            return full_sweep;
         }
-        let prep = &prep;
-        let chunk_size = plan.chunk_size(universe.len());
-        std::thread::scope(|scope| {
-            let workers: Vec<_> = universe
-                .chunks(chunk_size)
-                .map(|shard| {
-                    scope.spawn(move || {
-                        let mut sram = Sram::new(self.config);
-                        shard
-                            .iter()
-                            .map(|fault| self.simulate_fault_batched(&mut sram, prep, fault))
-                            .collect::<Vec<_>>()
-                    })
-                })
-                .collect();
-            let mut outcomes = Vec::with_capacity(universe.len());
-            for worker in workers {
-                outcomes.extend(worker.join().expect("fault-simulation shard worker panicked"));
-            }
-            outcomes
-        })
+        match Self::prunable_rows(fault) {
+            Some((_, None)) => 1,
+            Some((_, Some(_))) => 2,
+            None => full_sweep,
+        }
     }
 
     fn locates(&self, fault: &MemoryFault, run: &RunOutcome) -> bool {

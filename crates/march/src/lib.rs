@@ -60,4 +60,4 @@ pub use engine::{FailureRecord, MarchRunner, RunOutcome};
 pub use fault_sim::{FaultSimOutcome, FaultSimulator};
 pub use ops::{AddressOrder, MarchElement, MarchOp, MarchTest};
 pub use schedule::{MarchSchedule, SchedulePatterns, SchedulePhase};
-pub use shard::ShardPlan;
+pub use shard::{ShardPlan, ShardStrategy};

@@ -1,118 +1,13 @@
-//! Sharding plans for parallel fault-universe simulation.
+//! Compatibility re-export of the deterministic parallel executor.
 //!
-//! A fault universe is embarrassingly parallel across faults: every
-//! fault is simulated on its own freshly reset memory, so the universe
-//! can be split into contiguous chunks and simulated by worker threads
-//! that each own one reusable [`sram_model::Sram`]. A [`ShardPlan`]
-//! captures the only tunable — how many workers to use — with the
-//! default taken from the machine's available parallelism and
-//! overridable through the [`THREADS_ENV`] environment variable.
+//! [`ShardPlan`] started life in this module driving the fault
+//! simulator's universe sharding; once population diagnosis (`bisd`)
+//! and SoC construction (`esram-diag`) adopted the same pattern, the
+//! plan — and the executor built around it — moved to the dedicated
+//! [`esram_exec`] crate. Everything is re-exported here so existing
+//! `march::ShardPlan` / `march::shard::THREADS_ENV` paths keep working.
 
-use std::fmt;
-
-/// Environment variable overriding the default worker count used by
-/// [`ShardPlan::from_env`] (and therefore by
-/// [`crate::FaultSimulator::simulate_universe`]). Values that are not a
-/// positive integer fall back to the auto-detected parallelism.
-pub const THREADS_ENV: &str = "ESRAM_DIAG_THREADS";
-
-/// How a fault universe is split across worker threads.
-///
-/// `threads == 1` is the sequential case: the simulator runs the whole
-/// universe inline on one reusable memory, with no thread spawned — so
-/// the sequential path stays exactly the 1-thread instance of the
-/// sharded one.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ShardPlan {
-    threads: usize,
-}
-
-impl ShardPlan {
-    /// The sequential plan (one worker, no threads spawned).
-    pub fn sequential() -> Self {
-        ShardPlan { threads: 1 }
-    }
-
-    /// A plan with an explicit worker count (clamped to at least 1).
-    pub fn with_threads(threads: usize) -> Self {
-        ShardPlan {
-            threads: threads.max(1),
-        }
-    }
-
-    /// The default plan: [`THREADS_ENV`] if set to a positive integer,
-    /// otherwise the machine's available parallelism (1 if unknown).
-    pub fn from_env() -> Self {
-        if let Ok(raw) = std::env::var(THREADS_ENV) {
-            if let Ok(threads) = raw.trim().parse::<usize>() {
-                if threads >= 1 {
-                    return ShardPlan::with_threads(threads);
-                }
-            }
-        }
-        ShardPlan::with_threads(std::thread::available_parallelism().map_or(1, |n| n.get()))
-    }
-
-    /// Number of worker threads the plan asks for.
-    pub fn threads(&self) -> usize {
-        self.threads
-    }
-
-    /// Number of shards actually used for `items` work items (never more
-    /// shards than items, never zero).
-    pub fn shard_count(&self, items: usize) -> usize {
-        self.threads.min(items).max(1)
-    }
-
-    /// Contiguous chunk size that splits `items` into
-    /// [`ShardPlan::shard_count`] balanced shards.
-    pub fn chunk_size(&self, items: usize) -> usize {
-        items.div_ceil(self.shard_count(items)).max(1)
-    }
-}
-
-impl Default for ShardPlan {
-    fn default() -> Self {
-        ShardPlan::from_env()
-    }
-}
-
-impl fmt::Display for ShardPlan {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} thread(s)", self.threads)
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn explicit_plans_clamp_and_report_threads() {
-        assert_eq!(ShardPlan::sequential().threads(), 1);
-        assert_eq!(ShardPlan::with_threads(0).threads(), 1);
-        assert_eq!(ShardPlan::with_threads(8).threads(), 8);
-        assert!(ShardPlan::with_threads(3).to_string().contains("3 thread"));
-    }
-
-    #[test]
-    fn shard_geometry_is_balanced_and_covers_all_items() {
-        let plan = ShardPlan::with_threads(4);
-        assert_eq!(plan.shard_count(100), 4);
-        assert_eq!(plan.chunk_size(100), 25);
-        // Fewer items than workers: one shard per item.
-        assert_eq!(plan.shard_count(3), 3);
-        assert_eq!(plan.chunk_size(3), 1);
-        // Uneven split still covers everything in shard_count chunks.
-        assert_eq!(plan.chunk_size(10), 3);
-        assert!(plan.chunk_size(10) * plan.shard_count(10) >= 10);
-        // Degenerate empty universe.
-        assert_eq!(plan.shard_count(0), 1);
-        assert_eq!(plan.chunk_size(0), 1);
-    }
-
-    #[test]
-    fn default_plan_has_at_least_one_thread() {
-        assert!(ShardPlan::default().threads() >= 1);
-    }
-}
+pub use esram_exec::{
+    block_ranges, cost_ranges, even_ranges, steal_schedule, ShardPlan, ShardStrategy, WorkCost,
+    DEFAULT_BLOCK_SIZE, SCHED_ENV, THREADS_ENV,
+};

@@ -13,7 +13,7 @@
 use fault_models::{FaultList, FaultUniverse, MemoryFault};
 use march::{
     algorithms, AddressOrder, CoverageReport, DataBackground, FaultSimulator, MarchElement, MarchOp,
-    MarchSchedule, MarchTest, ShardPlan,
+    MarchSchedule, MarchTest, ShardPlan, ShardStrategy,
 };
 use proptest::prelude::*;
 use sram_model::cell::CellCoord;
@@ -60,6 +60,29 @@ fn outcomes_are_identical_for_every_thread_count() {
             sharded, sequential,
             "sharded outcomes diverged from sequential at {threads} threads"
         );
+    }
+}
+
+#[test]
+fn outcomes_are_identical_for_every_strategy_and_block_size() {
+    // The mixed universe combines pruned single-row faults (cost 1),
+    // coupling pairs (cost 2) and full-sweep fallback classes (cost =
+    // the whole address space), so cost-weighted boundaries genuinely
+    // differ from even ones — and the outcomes still must not.
+    let sim = FaultSimulator::new(config());
+    let universe = mixed_universe();
+    let schedule = nwrtm_schedule();
+    let sequential = sim.simulate_universe_with(ShardPlan::sequential(), &schedule, &universe);
+    for strategy in ShardStrategy::all() {
+        for threads in [2, 7, 32] {
+            for block_size in [1, 5, 16] {
+                let plan = ShardPlan::with_threads(threads)
+                    .with_strategy(strategy)
+                    .with_block_size(block_size);
+                let sharded = sim.simulate_universe_with(plan, &schedule, &universe);
+                assert_eq!(sharded, sequential, "outcomes diverged under {plan}");
+            }
+        }
     }
 }
 
