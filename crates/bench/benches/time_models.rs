@@ -14,8 +14,8 @@
 use bench::{print_section, small_population};
 use criterion::{criterion_group, criterion_main, Criterion};
 use esram_diag::{
-    AnalyticModel, CaseStudy, DataBackground, DataBackgroundGenerator, DiagnosisScheme, DrfMode, FastScheme,
-    GoldenStore, HuangScheme, MarchSchedule, MemConfig, ShardPlan, Soc,
+    AnalyticModel, CaseStudy, DataBackground, DataBackgroundGenerator, DiagnosisKernel, DiagnosisScheme,
+    DrfMode, FastScheme, GoldenStore, HuangScheme, MarchSchedule, MemConfig, ShardPlan, Soc,
 };
 use sram_model::{Address, DataWord};
 use std::hint::black_box;
@@ -240,6 +240,25 @@ fn bench_time_models(c: &mut Criterion) {
     // at population scale under both plans. On a multi-core runner the
     // `_sharded` entries scale with the worker count while the
     // `_sequential` comparators freeze the single-thread walk.
+    // The per-memory oracle kernel on the same population: the committed
+    // pair documents the bit-parallel kernel's speedup, and the gap
+    // collapsing is the first sign the fast path silently degraded to
+    // dense stepping.
+    group.bench_function("fast_scheme_diagnose_512mem_permem", |b| {
+        b.iter_batched(
+            || small_population(SOA_MEMORIES, 64, 16, 0.0005, 42),
+            |mut soc| {
+                let result = FastScheme::new(10.0)
+                    .with_drf_mode(DrfMode::None)
+                    .with_kernel(DiagnosisKernel::PerMemory)
+                    .diagnose_with(ShardPlan::sequential(), soc.memories_mut())
+                    .expect("fast run");
+                black_box(result.cycles)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+
     group.bench_function("fast_scheme_diagnose_512mem_sequential", |b| {
         b.iter_batched(
             || small_population(SOA_MEMORIES, 64, 16, 0.0005, 42),

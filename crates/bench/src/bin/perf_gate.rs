@@ -17,8 +17,11 @@
 //! *every* regression is reported before the process exits non-zero —
 //! a regression in the first group never masks one in a later group —
 //! and the full fresh-vs-committed ratio table is printed on success
-//! too, so a green gate still documents the current margins. New and
-//! retired benchmarks are reported but do not fail the gate.
+//! too, so a green gate still documents the current margins. New
+//! benchmarks are reported but do not fail the gate; committed entries
+//! the fresh run did not produce are warned about, and fail the gate
+//! under `--strict` (what CI passes) so stale ledger entries must be
+//! pruned alongside the change that retires them.
 
 use bench::ledger::{gate_groups, parse_ledger, GateReport};
 use std::process::ExitCode;
@@ -28,6 +31,7 @@ struct Args {
     fresh: String,
     prefixes: Vec<String>,
     max_ratio: f64,
+    strict: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -35,6 +39,7 @@ fn parse_args() -> Result<Args, String> {
     let mut fresh = None;
     let mut prefixes = Vec::new();
     let mut max_ratio = 2.0f64;
+    let mut strict = false;
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
         let mut value = |name: &str| argv.next().ok_or(format!("{name} requires a value"));
@@ -50,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
                     .filter(|r| r.is_finite() && *r > 0.0)
                     .ok_or(format!("invalid --max-ratio '{raw}'"))?;
             }
+            "--strict" => strict = true,
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
@@ -62,6 +68,7 @@ fn parse_args() -> Result<Args, String> {
         fresh: fresh.ok_or("--fresh is required")?,
         prefixes,
         max_ratio,
+        strict,
     })
 }
 
@@ -92,7 +99,7 @@ fn print_group(prefix: &str, report: &GateReport, max_ratio: f64) {
         println!("  [new] {name} (no committed baseline; commit the refreshed ledger)");
     }
     for name in &report.missing_entries {
-        println!("  [missing] {name} (committed but not produced by the fresh run)");
+        println!("  [missing] {name} (committed but not produced by the fresh run; prune the ledger entry or run the bench)");
     }
 }
 
@@ -125,7 +132,22 @@ fn run(args: &Args) -> Result<bool, String> {
         .iter()
         .map(|(_, report)| report.regressions(args.max_ratio).len())
         .sum();
-    if regressed == 0 {
+    let missing: usize = groups.iter().map(|(_, r)| r.missing_entries.len()).sum();
+    let stale = args.strict && missing > 0;
+    if stale {
+        println!(
+            "perf gate FAILED (--strict): {missing} committed ledger entr{} the fresh run did not produce",
+            if missing == 1 { "y" } else { "ies" }
+        );
+    }
+    if regressed > 0 {
+        println!(
+            "perf gate FAILED: {regressed} benchmark(s) regressed beyond {:.2}x across {} group(s)",
+            args.max_ratio,
+            groups.len()
+        );
+    }
+    if regressed == 0 && !stale {
         println!(
             "perf gate passed ({} group(s), {} benchmark(s) within {:.2}x)",
             groups.len(),
@@ -134,11 +156,6 @@ fn run(args: &Args) -> Result<bool, String> {
         );
         Ok(true)
     } else {
-        println!(
-            "perf gate FAILED: {regressed} benchmark(s) regressed beyond {:.2}x across {} group(s)",
-            args.max_ratio,
-            groups.len()
-        );
         Ok(false)
     }
 }

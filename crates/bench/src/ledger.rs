@@ -73,6 +73,15 @@ impl GateReport {
     pub fn passes(&self, max_ratio: f64) -> bool {
         self.regressions(max_ratio).is_empty()
     }
+
+    /// Strict verdict: like [`GateReport::passes`], but additionally
+    /// fails when the committed ledger holds entries the fresh run did
+    /// not produce. CI runs strict so a stale ledger entry (a renamed or
+    /// retired benchmark that nobody pruned) cannot sit in the baseline
+    /// forever, silently gating nothing.
+    pub fn passes_strict(&self, max_ratio: f64) -> bool {
+        self.passes(max_ratio) && self.missing_entries.is_empty()
+    }
 }
 
 /// Gates a fresh ledger against the committed baseline over several
@@ -197,6 +206,24 @@ mod tests {
         assert!(!groups[2].1.passes(2.0));
         let total_regressions: usize = groups.iter().map(|(_, r)| r.regressions(2.0).len()).sum();
         assert_eq!(total_regressions, 2);
+    }
+
+    #[test]
+    fn strict_verdict_fails_on_stale_ledger_entries() {
+        let baseline = vec![entry("g/kept", 100), entry("g/stale", 50)];
+        let fresh = vec![entry("g/kept", 110)];
+        let report = gate(&baseline, &fresh, "g/");
+        // The lenient gate reports the stale entry but still passes...
+        assert_eq!(report.missing_entries, vec!["g/stale".to_string()]);
+        assert!(report.passes(2.0));
+        // ...while the strict gate used by CI fails on it.
+        assert!(!report.passes_strict(2.0));
+        // With the stale entry pruned, strict passes again.
+        let pruned = gate(&baseline[..1], &fresh, "g/");
+        assert!(pruned.passes_strict(2.0));
+        // Strict still fails on plain regressions, too.
+        let regressed = gate(&baseline[..1], &[entry("g/kept", 500)], "g/");
+        assert!(!regressed.passes_strict(2.0));
     }
 
     #[test]

@@ -1,7 +1,10 @@
 //! The proposed fast diagnosis scheme (Fig. 3): SPC/PSC converters,
 //! March CW and NWRTM-based data-retention diagnosis.
 
-use crate::components::{AddressTrigger, ComparatorArray, DataBackgroundGenerator, MemorySizeTable};
+use crate::components::{
+    AddressTrigger, ComparatorArray, DataBackgroundGenerator, MemorySizeTable, StepIndex,
+};
+use crate::kernel::DiagnosisKernel;
 use crate::log::{DiagnosisLog, DiagnosisRecord};
 use crate::population::GoldenStore;
 use crate::result::DiagnosisResult;
@@ -50,6 +53,7 @@ pub struct FastScheme {
     drf_mode: DrfMode,
     shift_order: ShiftOrder,
     use_march_cw: bool,
+    kernel: DiagnosisKernel,
 }
 
 impl FastScheme {
@@ -69,6 +73,7 @@ impl FastScheme {
             drf_mode: DrfMode::Nwrtm,
             shift_order: ShiftOrder::MsbFirst,
             use_march_cw: true,
+            kernel: DiagnosisKernel::from_env(),
         }
     }
 
@@ -76,6 +81,20 @@ impl FastScheme {
     pub fn with_drf_mode(mut self, mode: DrfMode) -> Self {
         self.drf_mode = mode;
         self
+    }
+
+    /// Selects the population-stepping kernel explicitly, overriding the
+    /// `ESRAM_DIAG_KERNEL` default [`FastScheme::new`] picked up. Both
+    /// kernels produce byte-identical results; `PerMemory` is the dense
+    /// oracle the equivalence suite compares against.
+    pub fn with_kernel(mut self, kernel: DiagnosisKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The population-stepping kernel in use.
+    pub fn kernel(&self) -> DiagnosisKernel {
+        self.kernel
     }
 
     /// Selects the serial delivery order (LSB-first exists only for the
@@ -252,6 +271,24 @@ impl FastScheme {
             }
         }
 
+        // The bit-parallel kernel's fast/slow split is sound only while
+        // "what the SPCs deliver" equals "what the golden model
+        // expects": then a fault-free pristine row can never mismatch,
+        // so skipping its operations is unobservable. The LSB-first
+        // Sec. 3.2 ablation deliberately breaks that equality (narrow
+        // memories receive corrupted backgrounds), so any planned
+        // delivery deviating from the ideal pattern drops the whole run
+        // to the per-memory oracle, which steps everything and observes
+        // the corruption exactly as the real hardware would.
+        let ideal_delivery = plans.iter().all(|plan| {
+            plan.delivered.iter().all(|(&value, by_width)| {
+                by_width
+                    .iter()
+                    .all(|(&width, word)| *word == generator.pattern_for_width(plan.background, value, width))
+            })
+        });
+        let bit_parallel = self.kernel == DiagnosisKernel::BitParallel && ideal_delivery;
+
         // The population runs on the deterministic executor over
         // contiguous mutable segments (one per shard for the contiguous
         // strategies, one per block under stealing). Per-memory cost is
@@ -261,15 +298,28 @@ impl FastScheme {
             memories,
             |index, _| configs[index].width() as u64 + 4,
             |base, segment| {
-                self.run_segment(
-                    segment,
-                    &configs[base..base + segment.len()],
-                    &generator,
-                    &backgrounds,
-                    &schedule,
-                    &plans,
-                    trigger,
-                )
+                let segment_configs = &configs[base..base + segment.len()];
+                if bit_parallel {
+                    self.run_segment_bitparallel(
+                        segment,
+                        segment_configs,
+                        &generator,
+                        &backgrounds,
+                        &schedule,
+                        &plans,
+                        trigger,
+                    )
+                } else {
+                    self.run_segment(
+                        segment,
+                        segment_configs,
+                        &generator,
+                        &backgrounds,
+                        &schedule,
+                        &plans,
+                        trigger,
+                    )
+                }
             },
         );
         // Reassemble the population log in exact sequential order: the
@@ -461,6 +511,157 @@ impl FastScheme {
                                     &received,
                                 );
                                 if !failing.is_empty() {
+                                    sequences.push(op_seq);
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Ok((sequences, comparator.into_log()))
+    }
+
+    /// Replays the planned schedule over one contiguous population
+    /// segment through the bit-parallel kernel: instead of stepping
+    /// every operation of every memory through its SPC/PSC pair, only
+    /// the sparse set of (memory, row) pairs whose behaviour can
+    /// deviate from the golden expectation is stepped at all.
+    ///
+    /// Soundness rests on three facts, each declared by the memory
+    /// itself through [`sram_model::AccessProfile`]:
+    ///
+    /// * With ideal delivery (checked by the caller; otherwise the
+    ///   per-memory oracle runs), the word a fault-free pristine row
+    ///   observes is exactly the golden expectation — equal limb
+    ///   planes by construction, since both sides are the same pattern
+    ///   word of the phase that last wrote the row. Skipped reads are
+    ///   therefore guaranteed matches and skipped writes store exactly
+    ///   what the golden model already tracks.
+    /// * Deviation is row-confined for every overlay fault class except
+    ///   stuck-open (which echoes the sense amplifier across rows) and
+    ///   decoder faults (which remap rows); those memories report
+    ///   [`sram_model::AccessProfile::Opaque`] and are stepped densely
+    ///   — but through [`MemoryPort::read_expect`], which fuses the
+    ///   read, the (lossless) PSC shift-back and the comparison into
+    ///   one limb pass. Coupling aggressor rows are part of the stepped
+    ///   set, so victim-driving write transitions replay exactly.
+    /// * The global operation sequence counter advances identically to
+    ///   the per-memory walk (the schedule walk is population-global),
+    ///   and within one operation members are visited in ascending
+    ///   index order — so mismatch records carry identical sequence
+    ///   numbers in identical order, and sharded logs stay
+    ///   byte-identical to the oracle's.
+    ///
+    /// Cycle accounting never enters this function: Eq. (2) is computed
+    /// in closed form during planning, so skipping behavioural steps
+    /// cannot change it.
+    #[allow(clippy::too_many_arguments)]
+    fn run_segment_bitparallel<M: MemoryPort>(
+        &self,
+        memories: &mut [(MemoryId, M)],
+        configs: &[MemConfig],
+        generator: &DataBackgroundGenerator,
+        backgrounds: &[DataBackground],
+        schedule: &MarchSchedule,
+        plans: &[ElementPlan],
+        trigger: AddressTrigger,
+    ) -> Result<(Vec<u64>, DiagnosisLog), MemError> {
+        let mut golden = GoldenStore::new(configs, generator, backgrounds);
+        let class_widths: Vec<usize> = golden.class_widths().to_vec();
+        let mut comparator = ComparatorArray::new();
+        let mut sequences: Vec<u64> = Vec::new();
+        let mut op_seq: u64 = 0;
+
+        // Classify once per run: faults are installed before diagnosis
+        // and the stepped rows of a row-local member are a static
+        // superset of where mismatches can appear (prior mismatches
+        // happen *at* faulted rows, and every stepped row is replayed
+        // in full, so no dynamic re-classification is needed).
+        let profiles: Vec<_> = memories.iter().map(|(_, m)| m.access_profile()).collect();
+        let member_words: Vec<u64> = (0..memories.len()).map(|m| golden.member_words(m)).collect();
+        let steps = StepIndex::new(&profiles, &member_words, trigger.max_words());
+
+        for plan in plans {
+            let element = &schedule.phases()[plan.phase_index].test.elements()[plan.element_index];
+
+            // Retention pauses reach every stepped memory; a skipped
+            // (pristine) memory holds no retention-faulted cells, so
+            // elapsing its clock would be a behavioural no-op anyway.
+            if plan.pause_ms > 0 {
+                for (index, (_, memory)) in memories.iter_mut().enumerate() {
+                    if steps.is_stepped(index) {
+                        memory.elapse_retention(plan.pause_ms as f64);
+                    }
+                }
+            }
+
+            let per_class: BTreeMap<bool, Vec<DataWord>> = plan
+                .delivered
+                .iter()
+                .map(|(&value, by_width)| {
+                    (
+                        value,
+                        class_widths.iter().map(|width| by_width[width].clone()).collect(),
+                    )
+                })
+                .collect();
+
+            let addresses: Vec<Address> = match element.order {
+                AddressOrder::Ascending | AddressOrder::Either => trigger.ascending().collect(),
+                AddressOrder::Descending => trigger.descending().collect(),
+            };
+
+            for global in addresses {
+                let active = steps.members_at(global);
+                for op in &element.ops {
+                    op_seq += 1;
+                    match op {
+                        MarchOp::Pause(_) => {}
+                        MarchOp::Write(value) | MarchOp::NwrcWrite(value) => {
+                            let nwrc = op.is_nwrc();
+                            // The golden model tracks the *whole* write
+                            // stream — skipped members' expectations
+                            // must stay current for later stepped rows
+                            // of the same value class.
+                            golden.record_write(plan.phase_index, global, *value);
+                            if active.is_empty() {
+                                continue;
+                            }
+                            let words = &per_class[value];
+                            for &member in active {
+                                let member = member as usize;
+                                let local = trigger.local_address(global, golden.member_words(member));
+                                let data = &words[golden.member_width_class(member)];
+                                let memory = &mut memories[member].1;
+                                if nwrc {
+                                    memory.write_nwrc(local, data)?;
+                                } else {
+                                    memory.write(local, data)?;
+                                }
+                            }
+                        }
+                        MarchOp::Read(_) => {
+                            for &member in active {
+                                let member = member as usize;
+                                let (local, expected) = golden.expected_at_global(member, global);
+                                // One fused limb pass replaces read +
+                                // PSC shift-back + compare: the PSC
+                                // serialisation is lossless (capture
+                                // then reconstruct), so the word the
+                                // comparator would see *is* the word
+                                // the port observed.
+                                if let Some(observed) = memories[member].1.read_expect(local, expected)? {
+                                    let failing = comparator.compare(
+                                        memories[member].0,
+                                        local,
+                                        plan.background,
+                                        &plan.label,
+                                        expected,
+                                        &observed,
+                                    );
+                                    debug_assert!(!failing.is_empty(), "read_expect reported a match");
                                     sequences.push(op_seq);
                                 }
                             }

@@ -2,6 +2,7 @@
 //! controller plus a bi-directional serial interface per memory.
 
 use crate::components::MemorySizeTable;
+use crate::kernel::DiagnosisKernel;
 use crate::log::{DiagnosisLog, DiagnosisRecord};
 use crate::result::DiagnosisResult;
 use crate::scheme::{DiagnosisScheme, MemoryUnderDiagnosis};
@@ -31,6 +32,7 @@ pub struct HuangScheme {
     clock_period_ns: f64,
     max_iterations: u64,
     retention_pause_ms: Option<u32>,
+    kernel: DiagnosisKernel,
 }
 
 impl HuangScheme {
@@ -48,7 +50,25 @@ impl HuangScheme {
             clock_period_ns,
             max_iterations: 4096,
             retention_pause_ms: None,
+            kernel: DiagnosisKernel::from_env(),
         }
+    }
+
+    /// Selects the population-stepping kernel explicitly, overriding
+    /// the `ESRAM_DIAG_KERNEL` default [`HuangScheme::new`] picked up.
+    /// For the baseline the bit-parallel kernel only skips memories
+    /// that are provably pristine (fault-free, power-on contents) for
+    /// the duration of a pass — the bi-directional serial interface
+    /// cannot locate anything in them, so the log, the verdicts and
+    /// the Eq. (1) iteration count are unchanged.
+    pub fn with_kernel(mut self, kernel: DiagnosisKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The population-stepping kernel in use.
+    pub fn kernel(&self) -> DiagnosisKernel {
+        self.kernel
     }
 
     /// Caps the number of `M1` iterations (a safety net; the scheme
@@ -119,6 +139,11 @@ impl HuangScheme {
         let mut known: Vec<KnownSites> = vec![KnownSites::new(); memories.len()];
         let mut cycles: u64 = 0;
         let mut pause_ms: f64 = 0.0;
+        let skip_pristine = self.kernel == DiagnosisKernel::BitParallel;
+        let pass = |per_direction_budget| PassOptions {
+            per_direction_budget,
+            skip_pristine,
+        };
 
         // The solid-background pattern words depend only on a memory's
         // IO width, so one set per distinct width serves every memory of
@@ -141,8 +166,15 @@ impl HuangScheme {
         loop {
             iterations += 1;
             cycles += m1.complexity_per_address() as u64 * n_max * c_max;
-            let found_new =
-                run_population_pass(plan, memories, &mut known, &m1, &width_patterns, &mut log, 2)?;
+            let found_new = run_population_pass(
+                plan,
+                memories,
+                &mut known,
+                &m1,
+                &width_patterns,
+                &mut log,
+                pass(2),
+            )?;
             if !found_new || iterations >= self.max_iterations {
                 break;
             }
@@ -159,7 +191,7 @@ impl HuangScheme {
             &base,
             &width_patterns,
             &mut log,
-            usize::MAX,
+            pass(usize::MAX),
         )?;
 
         // Optional pause-based data-retention extension: 8·k extra units
@@ -177,7 +209,7 @@ impl HuangScheme {
                     &drf_test,
                     &width_patterns,
                     &mut log,
-                    2,
+                    pass(2),
                 )?;
                 if !found_new || drf_iterations >= self.max_iterations {
                     break;
@@ -195,6 +227,16 @@ impl HuangScheme {
             clock_period_ns: self.clock_period_ns,
         })
     }
+}
+
+/// Per-pass stepping options shared by every segment of a population
+/// pass: the per-shift-direction location budget of the pass, and
+/// whether provably pristine members may be skipped (the bit-parallel
+/// kernel's fast path).
+#[derive(Clone, Copy)]
+struct PassOptions {
+    per_direction_budget: usize,
+    skip_pristine: bool,
 }
 
 /// Runs one element-group pass over the whole population under a shard
@@ -215,14 +257,14 @@ fn run_population_pass(
     test: &MarchTest,
     width_patterns: &BTreeMap<usize, BackgroundPatterns>,
     log: &mut DiagnosisLog,
-    per_direction_budget: usize,
+    options: PassOptions,
 ) -> Result<bool, MemError> {
     let mut pairs: Vec<(&mut MemoryUnderDiagnosis, &mut KnownSites)> =
         memories.iter_mut().zip(known.iter_mut()).collect();
     let worker_results: Vec<Result<(bool, DiagnosisLog), MemError>> = plan.run_segments(
         &mut pairs,
         |_, (memory, _)| memory.config().cells(),
-        |_, segment| run_segment_pass(segment, test, width_patterns, per_direction_budget),
+        |_, segment| run_segment_pass(segment, test, width_patterns, options),
     );
     let mut found_new = false;
     for result in worker_results {
@@ -240,11 +282,23 @@ fn run_segment_pass(
     segment: &mut [(&mut MemoryUnderDiagnosis, &mut KnownSites)],
     test: &MarchTest,
     width_patterns: &BTreeMap<usize, BackgroundPatterns>,
-    per_direction_budget: usize,
+    options: PassOptions,
 ) -> Result<(bool, DiagnosisLog), MemError> {
     let mut log = DiagnosisLog::new();
     let mut found_new = false;
     for (memory, known_sites) in segment.iter_mut() {
+        // Under the bit-parallel kernel, memories that are provably
+        // pristine (no installed faults, power-on contents) are skipped
+        // wholesale: the bi-directional interface cannot locate anything
+        // in them, every element of the baseline's tests is
+        // solid-background (reads expect what the preceding writes of
+        // the same pass delivered), and a skipped memory's contents stay
+        // at power-on — so the skip remains valid on every later pass
+        // and the log, verdicts and Eq. (1) iteration count match the
+        // per-memory oracle exactly.
+        if options.skip_pristine && memory.sram.is_pristine() {
+            continue;
+        }
         let patterns = &width_patterns[&memory.config().width()];
         let found = run_group_serially(
             memory,
@@ -252,7 +306,7 @@ fn run_segment_pass(
             patterns,
             &mut log,
             known_sites,
-            per_direction_budget,
+            options.per_direction_budget,
         )?;
         found_new |= found > 0;
     }

@@ -47,14 +47,16 @@
 pub mod components;
 pub mod fast;
 pub mod huang;
+pub mod kernel;
 pub mod log;
 pub mod population;
 pub mod result;
 pub mod scheme;
 
-pub use components::{AddressTrigger, ComparatorArray, DataBackgroundGenerator, MemorySizeTable};
+pub use components::{AddressTrigger, ComparatorArray, DataBackgroundGenerator, MemorySizeTable, StepIndex};
 pub use fast::{DrfMode, FastScheme};
 pub use huang::HuangScheme;
+pub use kernel::{DiagnosisKernel, KERNEL_ENV};
 pub use log::{DiagnosisLog, DiagnosisRecord, FaultSite};
 pub use population::GoldenStore;
 pub use result::DiagnosisResult;

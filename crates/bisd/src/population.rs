@@ -215,6 +215,18 @@ impl GoldenStore {
         }
     }
 
+    /// The golden word of `member` for a *global* trigger address,
+    /// returned together with the wrapped local address it lives at —
+    /// one member lookup instead of the two a
+    /// [`GoldenStore::member_words`] + [`GoldenStore::expected_at`]
+    /// pair costs. This is the bit-parallel kernel's read-side lookup:
+    /// its stepping index hands out global addresses, and every stepped
+    /// read needs exactly this (local, expected) pair.
+    pub fn expected_at_global(&self, member: usize, global: Address) -> (Address, &DataWord) {
+        let local = global.wrapped(self.members[member].words);
+        (local, self.expected_at(member, local))
+    }
+
     /// Installs a per-memory expectation override at `(member, local)`,
     /// deviating that one address from its shared class (e.g. to model
     /// a repaired word whose reads are expected to come from a spare).
@@ -302,6 +314,19 @@ mod tests {
         // ...and adopts the new background only once rewritten.
         s.record_write(1, Address::new(3), false);
         assert_eq!(s.expected_at(0, Address::new(3)), &binary0);
+    }
+
+    #[test]
+    fn global_lookup_wraps_and_matches_the_local_lookup() {
+        let mut s = store();
+        s.record_write(1, Address::new(20), true);
+        for member in 0..3 {
+            let (local, expected) = s.expected_at_global(member, Address::new(20));
+            assert_eq!(local, Address::new(20).wrapped(s.member_words(member)));
+            assert_eq!(expected, s.expected_at(member, local));
+        }
+        // Member 1 (16 words) sees global 20 at local 4.
+        assert_eq!(s.expected_at_global(1, Address::new(20)).0, Address::new(4));
     }
 
     #[test]

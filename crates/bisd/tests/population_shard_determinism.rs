@@ -237,3 +237,52 @@ fn single_memory_population_shards_trivially() {
         .expect("sharded run");
     assert_eq!(sharded, sequential);
 }
+
+#[test]
+fn both_kernels_shard_identically_under_every_strategy() {
+    // The kernel knob composes with sharding: for each kernel the
+    // sharded run must equal that kernel's own sequential walk, and the
+    // two kernels' sequential walks must equal each other — so the CI
+    // matrix rows that pin `ESRAM_DIAG_KERNEL=permem` gate exactly the
+    // same bytes as the default bit-parallel rows.
+    use bisd::DiagnosisKernel;
+    let oracle = {
+        let mut population = population(17, 0.04);
+        FastScheme::new(10.0)
+            .with_kernel(DiagnosisKernel::PerMemory)
+            .diagnose_with(ShardPlan::sequential(), &mut population)
+            .expect("sequential oracle run")
+    };
+    assert!(!oracle.is_clean(), "the population must contain faults");
+    for kernel in DiagnosisKernel::all() {
+        for strategy in ShardStrategy::all() {
+            for threads in [1, 7, 32] {
+                let plan = ShardPlan::with_threads(threads)
+                    .with_strategy(strategy)
+                    .with_block_size(2);
+                let mut sharded_population = population(17, 0.04);
+                let sharded = FastScheme::new(10.0)
+                    .with_kernel(kernel)
+                    .diagnose_with(plan, &mut sharded_population)
+                    .expect("sharded run");
+                assert_eq!(
+                    sharded, oracle,
+                    "kernel {kernel} diverged from the sequential oracle under {plan}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn ambient_kernel_knob_is_well_formed() {
+    // The determinism matrix sets `ESRAM_DIAG_KERNEL` per row; a typo
+    // there must fail the suite loudly, not fall back silently.
+    if let Ok(raw) = std::env::var(bisd::KERNEL_ENV) {
+        assert!(
+            bisd::DiagnosisKernel::parse(&raw).is_some(),
+            "{}={raw:?} is not a valid kernel (expected one of: bitparallel, permem)",
+            bisd::KERNEL_ENV
+        );
+    }
+}

@@ -63,8 +63,8 @@ pub use sweeps::{defect_rate_sweep, size_sweep, DefectRatePoint, SizePoint};
 // Re-export the main types users need from the substrate crates so the
 // public API is usable from this crate alone.
 pub use bisd::{
-    DataBackgroundGenerator, DiagnosisResult, DiagnosisScheme, DrfMode, FastScheme, GoldenStore, HuangScheme,
-    MemoryUnderDiagnosis,
+    DataBackgroundGenerator, DiagnosisKernel, DiagnosisResult, DiagnosisScheme, DrfMode, FastScheme,
+    GoldenStore, HuangScheme, MemoryUnderDiagnosis,
 };
 pub use fault_models::{DefectProfile, FaultClass, FaultInjector, FaultList, FaultUniverse, MemoryFault};
 pub use march::{algorithms, DataBackground, MarchSchedule, MarchTest, ShardPlan, ShardStrategy};

@@ -40,6 +40,6 @@ pub mod plan;
 
 pub use executor::WorkCost;
 pub use plan::{
-    block_ranges, cost_ranges, even_ranges, steal_schedule, ShardPlan, ShardStrategy, DEFAULT_BLOCK_SIZE,
-    SCHED_ENV, THREADS_ENV,
+    block_ranges, cost_ranges, even_ranges, steal_schedule, EnvFallback, ShardPlan, ShardStrategy,
+    DEFAULT_BLOCK_SIZE, SCHED_ENV, THREADS_ENV,
 };

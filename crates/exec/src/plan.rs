@@ -79,6 +79,39 @@ impl fmt::Display for ShardStrategy {
     }
 }
 
+/// A set-but-malformed environment knob and the value that was used in
+/// its place, as reported by [`ShardPlan::from_env_values`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvFallback {
+    /// The environment variable holding the rejected value.
+    pub variable: &'static str,
+    /// The raw value that failed to parse.
+    pub rejected: String,
+    /// Human-readable description of what was used instead.
+    pub fallback: String,
+}
+
+impl EnvFallback {
+    /// Prints the fallback warning to stderr, at most once per variable
+    /// per process (repeated `from_env` calls — one per diagnosis run —
+    /// must not turn one typo into a warning flood).
+    pub fn warn_once(&self) {
+        use std::sync::Once;
+        static THREADS_WARNED: Once = Once::new();
+        static SCHED_WARNED: Once = Once::new();
+        let once = match self.variable {
+            THREADS_ENV => &THREADS_WARNED,
+            _ => &SCHED_WARNED,
+        };
+        once.call_once(|| {
+            eprintln!(
+                "warning: {}={:?} is not a valid value; falling back to {}",
+                self.variable, self.rejected, self.fallback
+            );
+        });
+    }
+}
+
 /// How a work list is split across worker threads.
 ///
 /// `threads == 1` is the sequential case: the executor runs the whole
@@ -112,23 +145,58 @@ impl ShardPlan {
     /// (otherwise the machine's available parallelism, 1 if unknown),
     /// with the strategy taken from [`SCHED_ENV`] if set to a
     /// recognised name.
+    ///
+    /// A knob that is set but malformed (`ESRAM_DIAG_THREADS=0`, a
+    /// garbled number, a typo'd strategy name) falls back to the same
+    /// default an unset knob gets — but loudly: a warning naming the
+    /// variable, the rejected value and the fallback is printed to
+    /// stderr, once per variable per process. A silently ignored typo
+    /// in a CI matrix would otherwise test the wrong configuration
+    /// while claiming to test the right one.
     pub fn from_env() -> Self {
-        let mut plan = if let Some(threads) = std::env::var(THREADS_ENV)
-            .ok()
-            .and_then(|raw| raw.trim().parse::<usize>().ok())
-            .filter(|&threads| threads >= 1)
-        {
-            ShardPlan::with_threads(threads)
-        } else {
-            ShardPlan::with_threads(std::thread::available_parallelism().map_or(1, |n| n.get()))
-        };
-        if let Some(strategy) = std::env::var(SCHED_ENV)
-            .ok()
-            .and_then(|raw| ShardStrategy::parse(&raw))
-        {
-            plan = plan.with_strategy(strategy);
+        let (plan, fallbacks) = Self::from_env_values(
+            std::env::var(THREADS_ENV).ok().as_deref(),
+            std::env::var(SCHED_ENV).ok().as_deref(),
+        );
+        for fallback in &fallbacks {
+            fallback.warn_once();
         }
         plan
+    }
+
+    /// Pure core of [`ShardPlan::from_env`]: builds the plan from the
+    /// given raw knob values (`None` = unset) and reports a
+    /// [`EnvFallback`] for every knob that was set but malformed.
+    /// Exposed so the malformed cases are unit-testable without
+    /// mutating process-global environment state.
+    pub fn from_env_values(threads: Option<&str>, sched: Option<&str>) -> (Self, Vec<EnvFallback>) {
+        let mut fallbacks = Vec::new();
+        let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let mut plan = match threads {
+            Some(raw) => match raw.trim().parse::<usize>().ok().filter(|&t| t >= 1) {
+                Some(parsed) => ShardPlan::with_threads(parsed),
+                None => {
+                    fallbacks.push(EnvFallback {
+                        variable: THREADS_ENV,
+                        rejected: raw.to_string(),
+                        fallback: format!("auto-detected parallelism ({default_threads})"),
+                    });
+                    ShardPlan::with_threads(default_threads)
+                }
+            },
+            None => ShardPlan::with_threads(default_threads),
+        };
+        if let Some(raw) = sched {
+            match ShardStrategy::parse(raw) {
+                Some(strategy) => plan = plan.with_strategy(strategy),
+                None => fallbacks.push(EnvFallback {
+                    variable: SCHED_ENV,
+                    rejected: raw.to_string(),
+                    fallback: format!("default strategy ({})", ShardStrategy::default()),
+                }),
+            }
+        }
+        (plan, fallbacks)
     }
 
     /// Selects the scheduling strategy.
@@ -190,8 +258,15 @@ impl fmt::Display for ShardPlan {
 /// Contiguous equal-count partition of `items` indices into at most
 /// `shards` ranges (fewer when there are fewer items than shards).
 /// Concatenating the ranges in order reproduces `0..items` exactly.
+///
+/// Degenerate inputs never panic: an empty universe returns no ranges,
+/// `shards == 0` is treated as 1, and more shards than items (1 item ×
+/// 32 shards) produces one single-item range per item.
 pub fn even_ranges(items: usize, shards: usize) -> Vec<Range<usize>> {
     if items == 0 {
+        // Early return: nothing to partition. Callers iterating the
+        // result spawn no workers, matching `ShardPlan::shard_count`'s
+        // "one never-spawned shard" story for the empty universe.
         return Vec::new();
     }
     let shards = shards.clamp(1, items);
@@ -213,8 +288,16 @@ pub fn even_ranges(items: usize, shards: usize) -> Vec<Range<usize>> {
 /// boundary computation. All-zero costs fall back to [`even_ranges`].
 /// Concatenating the ranges in order reproduces `0..costs.len()`
 /// exactly; a range may be empty when one item dominates the total.
+///
+/// Degenerate inputs never panic: an empty cost list returns no ranges
+/// (not a division by a zero total), all-zero costs fall back to the
+/// even split before the prefix-sum arithmetic runs, and more shards
+/// than items clamps to one shard per item.
 pub fn cost_ranges(costs: &[u64], shards: usize) -> Vec<Range<usize>> {
     if costs.is_empty() {
+        // Early return: guards the `total == 0` division fallback and
+        // the trailing `start..len` push below, both of which assume at
+        // least one item.
         return Vec::new();
     }
     let shards = shards.clamp(1, costs.len());
@@ -262,9 +345,19 @@ pub fn block_ranges(items: usize, block_size: usize) -> Vec<Range<usize>> {
 /// timing, but its *output* never does. Benches use this to compute the
 /// critical path (the most loaded worker) a strategy would pay on a
 /// `workers`-core machine.
+///
+/// Degenerate inputs never panic: an empty cost list returns one empty
+/// block list per worker, `workers == 0` is treated as 1 (so the
+/// least-loaded lookup below always has a candidate and needs no
+/// unwrap), and all-zero costs degrade to round-robin-by-tie-break
+/// (ties go to the lowest worker index).
 pub fn steal_schedule(costs: &[u64], block_size: usize, workers: usize) -> Vec<Vec<Range<usize>>> {
     let workers = workers.max(1);
     let mut assignments: Vec<Vec<Range<usize>>> = vec![Vec::new(); workers];
+    if costs.is_empty() {
+        // Early return: no blocks to assign; every worker idles.
+        return assignments;
+    }
     let mut loads: Vec<u128> = vec![0; workers];
     for block in block_ranges(costs.len(), block_size) {
         let next = loads
@@ -272,7 +365,7 @@ pub fn steal_schedule(costs: &[u64], block_size: usize, workers: usize) -> Vec<V
             .enumerate()
             .min_by_key(|&(index, &load)| (load, index))
             .map(|(index, _)| index)
-            .unwrap_or(0);
+            .expect("workers >= 1 so a least-loaded worker always exists");
         loads[next] += block.clone().map(|i| u128::from(costs[i])).sum::<u128>();
         assignments[next].push(block);
     }
@@ -418,5 +511,70 @@ mod tests {
         let plan = ShardPlan::from_env();
         assert!(plan.threads() >= 1);
         assert!(plan.block_size() >= 1);
+    }
+
+    #[test]
+    fn well_formed_env_values_parse_without_fallbacks() {
+        let (plan, fallbacks) = ShardPlan::from_env_values(Some("7"), Some(" Steal "));
+        assert!(fallbacks.is_empty());
+        assert_eq!(plan.threads(), 7);
+        assert_eq!(plan.strategy(), ShardStrategy::Steal);
+
+        // Unset knobs are not fallbacks — nothing was rejected.
+        let (plan, fallbacks) = ShardPlan::from_env_values(None, None);
+        assert!(fallbacks.is_empty());
+        assert!(plan.threads() >= 1);
+        assert_eq!(plan.strategy(), ShardStrategy::default());
+    }
+
+    #[test]
+    fn malformed_thread_count_falls_back_loudly() {
+        for bad in ["0", "garbage", "-3", "1.5", ""] {
+            let (plan, fallbacks) = ShardPlan::from_env_values(Some(bad), None);
+            assert!(plan.threads() >= 1, "{bad:?} must still yield a usable plan");
+            assert_eq!(fallbacks.len(), 1, "{bad:?} must be reported");
+            assert_eq!(fallbacks[0].variable, THREADS_ENV);
+            assert_eq!(fallbacks[0].rejected, bad);
+            assert!(fallbacks[0].fallback.contains("auto-detected"));
+        }
+    }
+
+    #[test]
+    fn malformed_strategy_falls_back_loudly() {
+        // "stael" is the CI-matrix typo that motivated the warning.
+        let (plan, fallbacks) = ShardPlan::from_env_values(None, Some("stael"));
+        assert_eq!(plan.strategy(), ShardStrategy::default());
+        assert_eq!(fallbacks.len(), 1);
+        assert_eq!(fallbacks[0].variable, SCHED_ENV);
+        assert_eq!(fallbacks[0].rejected, "stael");
+        assert!(fallbacks[0].fallback.contains("cost"));
+
+        // Both knobs malformed: both reported, in knob order.
+        let (_, fallbacks) = ShardPlan::from_env_values(Some("zero"), Some("stael"));
+        assert_eq!(fallbacks.len(), 2);
+        assert_eq!(fallbacks[0].variable, THREADS_ENV);
+        assert_eq!(fallbacks[1].variable, SCHED_ENV);
+    }
+
+    #[test]
+    fn partitions_handle_degenerate_inputs_without_panicking() {
+        // Empty universe.
+        assert!(even_ranges(0, 32).is_empty());
+        assert!(cost_ranges(&[], 32).is_empty());
+        assert!(block_ranges(0, 16).is_empty());
+        assert_eq!(steal_schedule(&[], 16, 4), vec![Vec::new(); 4]);
+        // One item spread over 32 shards collapses to one range.
+        assert_eq!(even_ranges(1, 32), vec![0..1]);
+        assert_eq!(cost_ranges(&[5], 32), vec![0..1]);
+        // All-zero costs at more shards than the even fallback needs.
+        let ranges = cost_ranges(&[0, 0, 0], 32);
+        assert_covers(&ranges, 3);
+        let schedule = steal_schedule(&[0, 0, 0], 1, 32);
+        let mut blocks: Vec<Range<usize>> = schedule.into_iter().flatten().collect();
+        blocks.sort_by_key(|r| r.start);
+        assert_covers(&blocks, 3);
+        // Zero shards / zero workers are treated as one.
+        assert_eq!(even_ranges(4, 0), vec![0..4]);
+        assert_eq!(steal_schedule(&[1, 2], 1, 0).len(), 1);
     }
 }

@@ -1,0 +1,20 @@
+//! Guard for the CI determinism matrix: if the `ESRAM_DIAG_*` executor
+//! knobs are set in the ambient environment, they must parse. A typo'd
+//! matrix entry (`ESRAM_DIAG_SCHED=stael`) would otherwise silently run
+//! the default configuration while the job name claims something else;
+//! this test turns that into a loud failure. The matrix runs it once
+//! per configuration before the determinism suites.
+
+use esram_exec::{ShardPlan, SCHED_ENV, THREADS_ENV};
+
+#[test]
+fn ambient_executor_knobs_are_well_formed() {
+    let threads = std::env::var(THREADS_ENV).ok();
+    let sched = std::env::var(SCHED_ENV).ok();
+    let (plan, fallbacks) = ShardPlan::from_env_values(threads.as_deref(), sched.as_deref());
+    assert!(
+        fallbacks.is_empty(),
+        "malformed executor knob(s) in the environment: {fallbacks:?} \
+         (the run would silently fall back to {plan})"
+    );
+}

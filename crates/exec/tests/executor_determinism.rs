@@ -4,11 +4,86 @@
 //! map — and mutable-segment processing touches every item exactly
 //! once, in order, under every partition.
 
-use esram_exec::{ShardPlan, ShardStrategy};
+use esram_exec::{cost_ranges, even_ranges, steal_schedule, ShardPlan, ShardStrategy};
 use proptest::collection;
 use proptest::prelude::*;
 
 const WORKER_COUNTS: [usize; 4] = [1, 2, 7, 32];
+
+/// The degenerate corners the `plan.rs` unwrap audit hardened, pinned
+/// explicitly (the generators above reach them only by luck): an empty
+/// universe, one item fanned across 32 shards, and all-zero costs.
+#[test]
+fn degenerate_universes_run_on_every_strategy() {
+    for strategy in ShardStrategy::all() {
+        for threads in WORKER_COUNTS {
+            let plan = ShardPlan::with_threads(threads).with_strategy(strategy);
+
+            // Empty universe: no segments, no spawns, no panic.
+            let mut empty: Vec<u64> = Vec::new();
+            let segments = plan.run_segments(&mut empty, |_, v| *v, |base, s| (base, s.len()));
+            assert!(segments.is_empty(), "empty universe must yield no segments");
+
+            // One item across up to 32 shards: exactly one segment.
+            let mut single = vec![41u64];
+            let segments = plan.run_segments(
+                &mut single,
+                |_, v| *v,
+                |base, segment| {
+                    segment[0] += 1;
+                    (base, segment.len())
+                },
+            );
+            assert_eq!(single, vec![42]);
+            assert_eq!(segments, vec![(0, 1)]);
+
+            // All-zero costs: every item still visited exactly once.
+            let mut zeros = vec![0u64; 5];
+            plan.run_segments(
+                &mut zeros,
+                |_, _| 0,
+                |_, segment| {
+                    for value in segment.iter_mut() {
+                        *value += 1;
+                    }
+                },
+            );
+            assert_eq!(zeros, vec![1; 5], "all-zero costs dropped or repeated items");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Property: the pure partition functions cover `0..items` exactly,
+    /// contiguously and in order, for arbitrary (including degenerate)
+    /// inputs — the invariant the unwrap audit rests on.
+    #[test]
+    fn partitions_always_cover_contiguously(
+        costs in collection::vec(0u64..1000, 0..130),
+        shards in 0usize..40,
+        block_size in 1usize..41,
+    ) {
+        let assert_covers = |ranges: &[std::ops::Range<usize>]| {
+            let mut next = 0;
+            for range in ranges {
+                assert_eq!(range.start, next, "ranges must be contiguous");
+                assert!(range.end >= range.start);
+                next = range.end;
+            }
+            assert_eq!(next, costs.len(), "ranges must cover every item");
+        };
+        assert_covers(&even_ranges(costs.len(), shards));
+        assert_covers(&cost_ranges(&costs, shards));
+        let mut stolen: Vec<std::ops::Range<usize>> = steal_schedule(&costs, block_size, shards)
+            .into_iter()
+            .flatten()
+            .collect();
+        stolen.sort_by_key(|range| range.start);
+        assert_covers(&stolen);
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

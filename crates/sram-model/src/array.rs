@@ -6,10 +6,11 @@ use crate::config::{Address, MemConfig};
 use crate::decoder::{AddressDecoder, DecoderFault};
 use crate::error::MemError;
 use crate::planes::BitPlanes;
+use crate::port::AccessProfile;
 use crate::retention::RetentionModel;
 use crate::trace::{MemOp, OperationTrace};
 use crate::word::DataWord;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A behavioural small embedded SRAM.
 ///
@@ -279,6 +280,59 @@ impl Sram {
     /// True if any fault (cell or decoder) is injected.
     pub fn is_faulty(&self) -> bool {
         self.decoder.is_faulty() || !self.overlay.is_empty()
+    }
+
+    /// True if the memory is fault-free and every cell still holds its
+    /// power-on zero — i.e. it behaves exactly like the controller's
+    /// ideal model. O(rows touched), via the planes' dirty tracking.
+    pub fn is_pristine(&self) -> bool {
+        !self.is_faulty() && self.planes.all_zero()
+    }
+
+    /// Classifies the memory for batched controllers (see
+    /// [`AccessProfile`]): which local rows must actually be stepped to
+    /// observe every behavioural deviation.
+    ///
+    /// * A stuck-open cell echoes the sense amplifier's last value —
+    ///   which any read of any row updates — so it makes the whole
+    ///   memory [`AccessProfile::Opaque`].
+    /// * Decoder faults are address-local despite touching several
+    ///   physical rows: the corrupted address plus the redirected/extra
+    ///   row it reads or writes ([`crate::decoder::AddressDecoder::deviation_rows`])
+    ///   bound every deviation, and accesses to all other addresses
+    ///   decode to exactly their own untouched row. A no-access read
+    ///   returns the precharged all-ones word independent of history.
+    /// * Otherwise deviation is confined to the rows holding overlay
+    ///   (faulted) cells, the rows holding coupling *aggressors* (their
+    ///   write transitions drive victims elsewhere, and state coupling
+    ///   reads the aggressor's current stored value), and any row whose
+    ///   stored contents are non-zero (an ideal model expecting the
+    ///   power-on state would mispredict a read there).
+    /// * No such rows at all is exactly [`Sram::is_pristine`], reported
+    ///   as [`AccessProfile::PristineUniform`].
+    pub fn access_profile(&self) -> AccessProfile {
+        let mut rows: BTreeSet<u64> = BTreeSet::new();
+        rows.extend(self.decoder.deviation_rows());
+        for (&(row, _bit), cell) in &self.overlay {
+            match cell.fault() {
+                Some(CellFault::StuckOpen) => return AccessProfile::Opaque,
+                Some(fault) => {
+                    rows.insert(row);
+                    if let Some(aggressor) = fault.aggressor() {
+                        rows.insert(aggressor.address.index());
+                    }
+                }
+                None => {
+                    rows.insert(row);
+                }
+            }
+        }
+        rows.extend(self.planes.nonzero_rows());
+        if rows.is_empty() {
+            AccessProfile::PristineUniform
+        } else {
+            AccessProfile::RowLocal(rows.into_iter().collect())
+        }
     }
 
     // ----------------------------------------------------------------
@@ -1055,5 +1109,94 @@ mod tests {
         assert_eq!(sram.read(Address::new(1)).unwrap(), pattern);
         assert_eq!(sram.peek(Address::new(1)).unwrap(), pattern);
         assert_eq!(sram.read(Address::new(0)).unwrap(), DataWord::zero(100));
+    }
+
+    #[test]
+    fn access_profile_classifies_pristine_row_local_and_opaque() {
+        let config = MemConfig::new(16, 4).unwrap();
+        let mut sram = Sram::new(config);
+        assert!(sram.is_pristine());
+        assert_eq!(sram.access_profile(), AccessProfile::PristineUniform);
+
+        // Written (non-zero) contents demote the profile to row-local
+        // even without faults: an ideal model expecting power-on zeros
+        // would mispredict a read of row 5.
+        sram.write(Address::new(5), &DataWord::splat(true, 4)).unwrap();
+        assert!(!sram.is_pristine());
+        assert_eq!(sram.access_profile(), AccessProfile::RowLocal(vec![5]));
+        // Writing the row back to zero restores pristineness.
+        sram.write(Address::new(5), &DataWord::zero(4)).unwrap();
+        assert_eq!(sram.access_profile(), AccessProfile::PristineUniform);
+
+        // Plain cell faults confine deviation to their own rows.
+        sram.inject_cell_fault(CellCoord::new(Address::new(9), 2), CellFault::TransitionUp)
+            .unwrap();
+        assert!(!sram.is_pristine());
+        assert_eq!(sram.access_profile(), AccessProfile::RowLocal(vec![9]));
+
+        // A coupling victim drags its aggressor's row in as well: the
+        // aggressor's write transitions (and, for state coupling, its
+        // stored value) must be replayed for the victim to misbehave.
+        sram.inject_cell_fault(
+            CellCoord::new(Address::new(2), 0),
+            CellFault::Coupling {
+                aggressor: CellCoord::new(Address::new(12), 3),
+                kind: CouplingKind::State {
+                    aggressor_value: true,
+                    forced_value: false,
+                },
+            },
+        )
+        .unwrap();
+        assert_eq!(sram.access_profile(), AccessProfile::RowLocal(vec![2, 9, 12]));
+    }
+
+    #[test]
+    fn stuck_open_makes_the_profile_opaque() {
+        let config = MemConfig::new(16, 4).unwrap();
+        // Stuck-open reads echo the sense amplifier's previous value,
+        // which every read of every row updates — no row locality.
+        let mut stuck_open = Sram::new(config);
+        stuck_open
+            .inject_cell_fault(CellCoord::new(Address::new(3), 1), CellFault::StuckOpen)
+            .unwrap();
+        assert_eq!(stuck_open.access_profile(), AccessProfile::Opaque);
+    }
+
+    #[test]
+    fn decoder_faults_confine_deviation_to_the_rows_they_drag_in() {
+        let config = MemConfig::new(16, 4).unwrap();
+
+        // No-access: only the corrupted address misbehaves (reads
+        // return the precharged all-ones word, writes are lost).
+        let mut no_access = Sram::new(config);
+        no_access
+            .inject_decoder_fault(DecoderFault::new(
+                Address::new(7),
+                crate::decoder::DecoderFaultKind::NoAccess,
+            ))
+            .unwrap();
+        assert_eq!(no_access.access_profile(), AccessProfile::RowLocal(vec![7]));
+
+        // Maps-to: the corrupted address reads/writes the target row,
+        // so the target's contents can deviate too — both are stepped.
+        let mut maps_to = Sram::new(config);
+        maps_to
+            .inject_decoder_fault(DecoderFault::new(
+                Address::new(3),
+                crate::decoder::DecoderFaultKind::MapsTo(Address::new(9)),
+            ))
+            .unwrap();
+        assert_eq!(maps_to.access_profile(), AccessProfile::RowLocal(vec![3, 9]));
+
+        // Also-accesses: wired-AND reads and double writes involve the
+        // corrupted address and the extra row, nothing else.
+        let mut also = Sram::new(config);
+        also.inject_decoder_fault(DecoderFault::new(
+            Address::new(2),
+            crate::decoder::DecoderFaultKind::AlsoAccesses(Address::new(5)),
+        ))
+        .unwrap();
+        assert_eq!(also.access_profile(), AccessProfile::RowLocal(vec![2, 5]));
     }
 }

@@ -131,6 +131,28 @@ impl AddressDecoder {
     pub fn is_faulty(&self) -> bool {
         !self.faults.is_empty()
     }
+
+    /// Every physical row whose observable behaviour a decoder fault can
+    /// influence, in ascending order: the corrupted address itself plus
+    /// the redirected/extra row it drags in. Accesses to any other
+    /// address decode to exactly their own row and neither read nor
+    /// write the rows listed here, so the deviation set is exact — a
+    /// no-access read returns the precharged all-ones word regardless of
+    /// history, and the wired-AND of a multi-access read only combines
+    /// rows in the set with the accessed row itself.
+    pub fn deviation_rows(&self) -> Vec<u64> {
+        let mut rows: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        for (&address, kind) in &self.faults {
+            rows.insert(address);
+            match kind {
+                DecoderFaultKind::NoAccess => {}
+                DecoderFaultKind::MapsTo(target) | DecoderFaultKind::AlsoAccesses(target) => {
+                    rows.insert(target.index());
+                }
+            }
+        }
+        rows.into_iter().collect()
+    }
 }
 
 #[cfg(test)]

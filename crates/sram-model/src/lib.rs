@@ -66,7 +66,7 @@ pub use config::{Address, MemConfig, MemoryId};
 pub use decoder::{DecoderFault, DecoderFaultKind};
 pub use error::MemError;
 pub use planes::BitPlanes;
-pub use port::{FaultTarget, MemoryPort};
+pub use port::{AccessProfile, FaultTarget, MemoryPort};
 pub use reference::ReferenceSram;
 pub use retention::RetentionModel;
 pub use trace::{MemOp, OpKind, OperationTrace};

@@ -15,6 +15,38 @@ use crate::error::MemError;
 use crate::reference::ReferenceSram;
 use crate::word::DataWord;
 
+/// A memory's declaration of how much of it a batched controller must
+/// actually step to observe every behavioural deviation.
+///
+/// The bit-parallel diagnosis kernel asks each memory for its profile
+/// once per run and then skips the operations the profile proves are
+/// unobservable: an ideal (pristine, fault-free) memory behaves exactly
+/// as the controller's golden model predicts, so stepping it cannot
+/// produce a mismatch record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessProfile {
+    /// No installed faults and every cell holds its power-on zero: all
+    /// operations behave ideally (writes store exactly, reads return
+    /// the stored word) and have no side effects a later operation
+    /// could observe. A controller whose expectations track the write
+    /// stream may skip this memory entirely.
+    PristineUniform,
+    /// Fault behaviour is confined to the given local rows (sorted
+    /// ascending, deduplicated): accesses to any *other* row behave
+    /// ideally and neither influence nor depend on the listed rows.
+    /// A controller may skip operations addressed outside the listed
+    /// rows, provided it still performs every access *to* them (the
+    /// listed rows include coupling aggressors, whose write transitions
+    /// drive victim cells elsewhere).
+    RowLocal(Vec<u64>),
+    /// No structural guarantee — e.g. address-decoder faults (one
+    /// access can touch several rows) or stuck-open cells (reads echo
+    /// the sense amplifier's previous value, whatever row it served).
+    /// Every operation must be performed. This is the conservative
+    /// default for implementations that do not classify themselves.
+    Opaque,
+}
+
 /// The port surface a March programme needs from a memory.
 pub trait MemoryPort {
     /// Geometry of the memory.
@@ -62,6 +94,17 @@ pub trait MemoryPort {
 
     /// Retention pause of `pause_ms` milliseconds.
     fn elapse_retention(&mut self, pause_ms: f64);
+
+    /// How much of this memory a batched controller must step to
+    /// observe every behavioural deviation (see [`AccessProfile`]).
+    ///
+    /// The default is [`AccessProfile::Opaque`] — always sound, never
+    /// fast. Implementations that can prove row locality (the packed
+    /// [`Sram`] inspects its fault overlay and bit planes) override
+    /// this to unlock the bit-parallel diagnosis fast path.
+    fn access_profile(&self) -> AccessProfile {
+        AccessProfile::Opaque
+    }
 }
 
 /// The injection surface faults need from a memory.
@@ -111,6 +154,13 @@ impl<M: MemoryPort + ?Sized> MemoryPort for &mut M {
     fn elapse_retention(&mut self, pause_ms: f64) {
         (**self).elapse_retention(pause_ms);
     }
+
+    // Forwarded explicitly: populations are routinely assembled from
+    // `&mut Sram` borrows, and falling back to the Opaque default here
+    // would silently disable the fast path for exactly those callers.
+    fn access_profile(&self) -> AccessProfile {
+        (**self).access_profile()
+    }
 }
 
 impl MemoryPort for Sram {
@@ -137,6 +187,10 @@ impl MemoryPort for Sram {
 
     fn elapse_retention(&mut self, pause_ms: f64) {
         Sram::elapse_retention(self, pause_ms);
+    }
+
+    fn access_profile(&self) -> AccessProfile {
+        Sram::access_profile(self)
     }
 }
 
@@ -200,6 +254,32 @@ mod tests {
         let mut dense = ReferenceSram::new(config);
         assert_eq!(roundtrip(&mut packed), roundtrip(&mut dense));
         assert_eq!(MemoryPort::config(&packed), MemoryPort::config(&dense));
+    }
+
+    #[test]
+    fn access_profiles_default_to_opaque_and_forward_through_borrows() {
+        let config = MemConfig::new(4, 9).unwrap();
+        // The dense reference model does not classify itself.
+        let dense = ReferenceSram::new(config);
+        assert_eq!(MemoryPort::access_profile(&dense), AccessProfile::Opaque);
+        // The packed model does, and the `&mut M` forwarding impl must
+        // hand through the real classification, not the default.
+        let mut packed = Sram::new(config);
+        {
+            let borrowed: &mut Sram = &mut packed;
+            assert_eq!(
+                MemoryPort::access_profile(&borrowed),
+                AccessProfile::PristineUniform
+            );
+        }
+        packed
+            .inject_cell_fault(CellCoord::new(Address::new(2), 1), CellFault::StuckAt(true))
+            .unwrap();
+        let borrowed: &mut Sram = &mut packed;
+        assert_eq!(
+            MemoryPort::access_profile(&borrowed),
+            AccessProfile::RowLocal(vec![2])
+        );
     }
 
     #[test]
