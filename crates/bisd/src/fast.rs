@@ -1,14 +1,13 @@
 //! The proposed fast diagnosis scheme (Fig. 3): SPC/PSC converters,
 //! March CW and NWRTM-based data-retention diagnosis.
 
-use crate::components::{
-    AddressTrigger, ComparatorArray, DataBackgroundGenerator, MemorySizeTable, StepIndex,
-};
+use crate::components::{AddressTrigger, ComparatorArray, DataBackgroundGenerator, StepIndex};
 use crate::kernel::DiagnosisKernel;
 use crate::log::{DiagnosisLog, DiagnosisRecord};
 use crate::population::GoldenStore;
 use crate::result::DiagnosisResult;
 use crate::scheme::{DiagnosisScheme, MemoryUnderDiagnosis};
+use march::shard::{CostCalibration, CostDomain};
 use march::{algorithms, AddressOrder, DataBackground, MarchElement, MarchOp, MarchSchedule, ShardPlan};
 use serial::{ParallelToSerialConverter, PatternDeliveryBus, ShiftOrder};
 use sram_model::{Address, DataWord, MemConfig, MemError, MemoryId, MemoryPort, Sram};
@@ -211,7 +210,7 @@ impl FastScheme {
     /// Diagnoses a population under an explicit [`ShardPlan`].
     ///
     /// The population is split into contiguous segments by the
-    /// deterministic executor — per-worker chunks (even or IO-width
+    /// deterministic executor — per-worker chunks (even or calibrated
     /// cost-weighted) or fixed-size stolen blocks, depending on the
     /// plan's strategy; memories are independent given the shared write
     /// stream. Each segment replays the planned schedule with its own
@@ -230,13 +229,49 @@ impl FastScheme {
         memories: &mut [(MemoryId, M)],
     ) -> Result<DiagnosisResult, MemError> {
         assert!(!memories.is_empty(), "diagnosis needs at least one memory");
-
-        let table: MemorySizeTable = memories.iter().map(|(id, m)| (*id, m.config())).collect();
-        let n_max = table.max_words();
-        let c_max = table.max_width();
-        let generator = DataBackgroundGenerator::new(c_max);
-        let widths: Vec<usize> = memories.iter().map(|(_, m)| m.config().width()).collect();
         let configs: Vec<MemConfig> = memories.iter().map(|(_, m)| m.config()).collect();
+        let population = self.plan_population(&configs);
+        let worker_results: Vec<Result<SegmentOutcome, MemError>> =
+            plan.with_domain(CostDomain::Diagnosis).run_segments(
+                memories,
+                |index, _| population.member_cost(index),
+                |base, segment| population.run_segment(base, segment),
+            );
+        let mut outcomes = Vec::with_capacity(worker_results.len());
+        for result in worker_results {
+            outcomes.push(result?);
+        }
+        Ok(population.merge(outcomes))
+    }
+
+    /// Plans one diagnosis run for a population of the given geometries
+    /// — everything the controller computes *before* any memory is
+    /// touched: the schedule, the serially delivered pattern words per
+    /// element, the closed-form Eq. (2) cycle/pause accounting and the
+    /// kernel decision. The returned [`PopulationPlan`] can then replay
+    /// any contiguous segment of the population independently
+    /// ([`PopulationPlan::run_segment`]) and merge the segment outcomes
+    /// back into the sequential-order result
+    /// ([`PopulationPlan::merge`]).
+    ///
+    /// [`FastScheme::diagnose_ports_with`] is exactly this plus the
+    /// executor in between; the fleet runner in `esram-diag` flattens
+    /// *several* populations' members into one executor run against
+    /// their respective plans.
+    pub fn plan_population(&self, configs: &[MemConfig]) -> PopulationPlan {
+        assert!(!configs.is_empty(), "diagnosis needs at least one memory");
+        let n_max = configs
+            .iter()
+            .map(|config| config.words())
+            .max()
+            .expect("non-empty");
+        let c_max = configs
+            .iter()
+            .map(|config| config.width())
+            .max()
+            .expect("non-empty");
+        let generator = DataBackgroundGenerator::new(c_max);
+        let widths: Vec<usize> = configs.iter().map(|config| config.width()).collect();
         let schedule = self.schedule(c_max);
         let backgrounds: Vec<DataBackground> =
             schedule.phases().iter().map(|phase| phase.background).collect();
@@ -289,70 +324,19 @@ impl FastScheme {
         });
         let bit_parallel = self.kernel == DiagnosisKernel::BitParallel && ideal_delivery;
 
-        // The population runs on the deterministic executor over
-        // contiguous mutable segments (one per shard for the contiguous
-        // strategies, one per block under stealing). Per-memory cost is
-        // dominated by the PSC shift window, so segments are weighted
-        // by IO width plus a fixed per-operation overhead.
-        let worker_results: Vec<Result<(Vec<u64>, DiagnosisLog), MemError>> = plan.run_segments(
-            memories,
-            |index, _| configs[index].width() as u64 + 4,
-            |base, segment| {
-                let segment_configs = &configs[base..base + segment.len()];
-                if bit_parallel {
-                    self.run_segment_bitparallel(
-                        segment,
-                        segment_configs,
-                        &generator,
-                        &backgrounds,
-                        &schedule,
-                        &plans,
-                        trigger,
-                    )
-                } else {
-                    self.run_segment(
-                        segment,
-                        segment_configs,
-                        &generator,
-                        &backgrounds,
-                        &schedule,
-                        &plans,
-                        trigger,
-                    )
-                }
-            },
-        );
-        // Reassemble the population log in exact sequential order: the
-        // global operation sequence number is the primary key and
-        // segment order (== memory order, since segments are contiguous
-        // and per-worker sequences are nondecreasing) breaks ties, so a
-        // stable sort over the segment-ordered concatenation reproduces
-        // the 1-thread walk byte for byte. A single segment (the
-        // sequential path) is already that walk, so its log passes
-        // through untouched.
-        let log = if worker_results.len() == 1 {
-            let (_, log) = worker_results.into_iter().next().expect("one segment")?;
-            log
-        } else {
-            let mut tagged: Vec<(u64, DiagnosisRecord)> = Vec::new();
-            for result in worker_results {
-                let (sequences, segment_log) = result?;
-                tagged.extend(sequences.into_iter().zip(segment_log.into_records()));
-            }
-            tagged.sort_by_key(|&(sequence, _)| sequence);
-            let mut log = DiagnosisLog::new();
-            log.extend(tagged.into_iter().map(|(_, record)| record));
-            log
-        };
-
-        Ok(DiagnosisResult {
-            scheme: self.name().to_string(),
-            log,
+        PopulationPlan {
+            scheme: *self,
+            configs: configs.to_vec(),
+            schedule,
+            plans,
+            generator,
+            backgrounds,
+            trigger,
+            bit_parallel,
             cycles,
             pause_ms,
-            iterations: 1,
-            clock_period_ns: self.clock_period_ns,
-        })
+            calibration: CostCalibration::current(),
+        }
     }
 
     /// Broadcasts the patterns an element needs and returns, per logical
@@ -405,6 +389,131 @@ impl FastScheme {
     fn element_cycles(element: &MarchElement, n_max: u64, c_max: usize) -> u64 {
         n_max * (element.ops_per_address() as u64 + element.reads_per_address() as u64 * c_max as u64)
     }
+}
+
+/// One population segment's replay output: the segment's diagnosis log
+/// plus, per record, the global operation sequence number it was
+/// observed at (the merge key). Opaque — produced by
+/// [`PopulationPlan::run_segment`], consumed by
+/// [`PopulationPlan::merge`].
+#[derive(Debug)]
+pub struct SegmentOutcome {
+    sequences: Vec<u64>,
+    log: DiagnosisLog,
+}
+
+/// The controller's population-global planning for one diagnosis run,
+/// built once by [`FastScheme::plan_population`]: the schedule, the
+/// per-element serially delivered pattern words, the closed-form
+/// Eq. (2) cycle/pause accounting, the kernel decision and the active
+/// cost calibration.
+///
+/// The plan is segment-agnostic: any contiguous slice of the population
+/// replays through [`PopulationPlan::run_segment`] (each segment builds
+/// its own [`GoldenStore`] view — a member's golden word depends only
+/// on the shared write stream and its own geometry), and
+/// [`PopulationPlan::merge`] reassembles per-segment outcomes into the
+/// exact sequential-order [`DiagnosisResult`] no matter how the
+/// population was split. This is what lets the fleet runner interleave
+/// segments of *different* populations in one executor run.
+#[derive(Debug)]
+pub struct PopulationPlan {
+    scheme: FastScheme,
+    configs: Vec<MemConfig>,
+    schedule: MarchSchedule,
+    plans: Vec<ElementPlan>,
+    generator: DataBackgroundGenerator,
+    backgrounds: Vec<DataBackground>,
+    trigger: AddressTrigger,
+    bit_parallel: bool,
+    cycles: u64,
+    pause_ms: f64,
+    calibration: CostCalibration,
+}
+
+impl PopulationPlan {
+    /// Number of memories the plan was built for.
+    pub fn member_count(&self) -> usize {
+        self.configs.len()
+    }
+
+    /// Closed-form Eq. (2) diagnosis cycles of the planned run.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Accumulated retention-pause time of the planned run.
+    pub fn pause_ms(&self) -> f64 {
+        self.pause_ms
+    }
+
+    /// Calibrated cost estimate for diagnosing member `index`
+    /// (diagnosis-domain pricing of the member's IO width). Used by the
+    /// executor's cost-weighted and stealing strategies; influences
+    /// shard boundaries only, never results.
+    pub fn member_cost(&self, index: usize) -> u64 {
+        self.calibration
+            .cost(CostDomain::Diagnosis, self.configs[index].width() as u64)
+    }
+
+    /// Replays the planned schedule over one contiguous population
+    /// segment starting at member `base`, dispatching to the planned
+    /// kernel (bit-parallel, or the per-memory oracle when the kernel
+    /// choice or a non-ideal delivery demands it).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on memory-model validation failures (which
+    /// indicate a bug in the scheme, not in the population).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base + segment.len()` exceeds the planned population
+    /// (the segment must come from the member list the plan was built
+    /// for).
+    pub fn run_segment<M: MemoryPort>(
+        &self,
+        base: usize,
+        memories: &mut [(MemoryId, M)],
+    ) -> Result<SegmentOutcome, MemError> {
+        let configs = &self.configs[base..base + memories.len()];
+        if self.bit_parallel {
+            self.run_segment_bitparallel(memories, configs)
+        } else {
+            self.run_segment_permem(memories, configs)
+        }
+    }
+
+    /// Reassembles per-segment outcomes (in segment = member order)
+    /// into the sequential-order [`DiagnosisResult`]: the global
+    /// operation sequence number is the primary key and segment order
+    /// breaks ties (per-segment sequences are nondecreasing), so a
+    /// stable sort over the segment-ordered concatenation reproduces
+    /// the 1-thread walk byte for byte. A single segment (the
+    /// sequential path) *is* that walk, so its log passes through
+    /// untouched.
+    pub fn merge(&self, outcomes: Vec<SegmentOutcome>) -> DiagnosisResult {
+        let log = if outcomes.len() == 1 {
+            outcomes.into_iter().next().expect("one segment").log
+        } else {
+            let mut tagged: Vec<(u64, DiagnosisRecord)> = Vec::new();
+            for outcome in outcomes {
+                tagged.extend(outcome.sequences.into_iter().zip(outcome.log.into_records()));
+            }
+            tagged.sort_by_key(|&(sequence, _)| sequence);
+            let mut log = DiagnosisLog::new();
+            log.extend(tagged.into_iter().map(|(_, record)| record));
+            log
+        };
+        DiagnosisResult {
+            scheme: DiagnosisScheme::name(&self.scheme).to_string(),
+            log,
+            cycles: self.cycles,
+            pause_ms: self.pause_ms,
+            iterations: 1,
+            clock_period_ns: self.scheme.clock_period_ns,
+        }
+    }
 
     /// Replays the planned schedule over one contiguous population
     /// segment and returns the segment's diagnosis log, each record
@@ -419,18 +528,13 @@ impl FastScheme {
     /// per distinct word count; per read the expectation is borrowed
     /// from the per-background pattern matrix — no golden words are
     /// cloned or compared per memory anywhere in this loop.
-    #[allow(clippy::too_many_arguments)]
-    fn run_segment<M: MemoryPort>(
+    fn run_segment_permem<M: MemoryPort>(
         &self,
         memories: &mut [(MemoryId, M)],
         configs: &[MemConfig],
-        generator: &DataBackgroundGenerator,
-        backgrounds: &[DataBackground],
-        schedule: &MarchSchedule,
-        plans: &[ElementPlan],
-        trigger: AddressTrigger,
-    ) -> Result<(Vec<u64>, DiagnosisLog), MemError> {
-        let mut golden = GoldenStore::new(configs, generator, backgrounds);
+    ) -> Result<SegmentOutcome, MemError> {
+        let trigger = self.trigger;
+        let mut golden = GoldenStore::new(configs, &self.generator, &self.backgrounds);
         let class_widths: Vec<usize> = golden.class_widths().to_vec();
         let mut pscs: Vec<ParallelToSerialConverter> = configs
             .iter()
@@ -440,8 +544,8 @@ impl FastScheme {
         let mut sequences: Vec<u64> = Vec::new();
         let mut op_seq: u64 = 0;
 
-        for plan in plans {
-            let element = &schedule.phases()[plan.phase_index].test.elements()[plan.element_index];
+        for plan in &self.plans {
+            let element = &self.schedule.phases()[plan.phase_index].test.elements()[plan.element_index];
 
             // Retention pauses apply once per element, to every memory.
             if plan.pause_ms > 0 {
@@ -520,7 +624,10 @@ impl FastScheme {
                 }
             }
         }
-        Ok((sequences, comparator.into_log()))
+        Ok(SegmentOutcome {
+            sequences,
+            log: comparator.into_log(),
+        })
     }
 
     /// Replays the planned schedule over one contiguous population
@@ -557,24 +664,19 @@ impl FastScheme {
     /// Cycle accounting never enters this function: Eq. (2) is computed
     /// in closed form during planning, so skipping behavioural steps
     /// cannot change it.
-    #[allow(clippy::too_many_arguments)]
     fn run_segment_bitparallel<M: MemoryPort>(
         &self,
         memories: &mut [(MemoryId, M)],
         configs: &[MemConfig],
-        generator: &DataBackgroundGenerator,
-        backgrounds: &[DataBackground],
-        schedule: &MarchSchedule,
-        plans: &[ElementPlan],
-        trigger: AddressTrigger,
-    ) -> Result<(Vec<u64>, DiagnosisLog), MemError> {
-        let mut golden = GoldenStore::new(configs, generator, backgrounds);
+    ) -> Result<SegmentOutcome, MemError> {
+        let trigger = self.trigger;
+        let mut golden = GoldenStore::new(configs, &self.generator, &self.backgrounds);
         let class_widths: Vec<usize> = golden.class_widths().to_vec();
         let mut comparator = ComparatorArray::new();
         let mut sequences: Vec<u64> = Vec::new();
         let mut op_seq: u64 = 0;
 
-        // Classify once per run: faults are installed before diagnosis
+        // Classify once per segment: faults are installed before diagnosis
         // and the stepped rows of a row-local member are a static
         // superset of where mismatches can appear (prior mismatches
         // happen *at* faulted rows, and every stepped row is replayed
@@ -583,8 +685,8 @@ impl FastScheme {
         let member_words: Vec<u64> = (0..memories.len()).map(|m| golden.member_words(m)).collect();
         let steps = StepIndex::new(&profiles, &member_words, trigger.max_words());
 
-        for plan in plans {
-            let element = &schedule.phases()[plan.phase_index].test.elements()[plan.element_index];
+        for plan in &self.plans {
+            let element = &self.schedule.phases()[plan.phase_index].test.elements()[plan.element_index];
 
             // Retention pauses reach every stepped memory; a skipped
             // (pristine) memory holds no retention-faulted cells, so
@@ -671,7 +773,10 @@ impl FastScheme {
                 }
             }
         }
-        Ok((sequences, comparator.into_log()))
+        Ok(SegmentOutcome {
+            sequences,
+            log: comparator.into_log(),
+        })
     }
 }
 

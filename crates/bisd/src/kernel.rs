@@ -49,27 +49,15 @@ impl DiagnosisKernel {
 
     /// The kernel selected by [`KERNEL_ENV`], defaulting to
     /// [`DiagnosisKernel::BitParallel`] when unset. A set-but-malformed
-    /// value also yields the default, with a one-time `eprintln!`
-    /// warning naming the variable and the fallback (a typo must not
-    /// silently test the wrong kernel).
+    /// value also yields the default, with a one-time warning naming
+    /// the variable and the fallback (a typo must not silently test the
+    /// wrong kernel) — routed through the workspace's shared warn-once
+    /// knob path so this knob cannot drift from the executor's.
     pub fn from_env() -> Self {
-        match std::env::var(KERNEL_ENV) {
-            Err(_) => DiagnosisKernel::default(),
-            Ok(raw) => match Self::parse(&raw) {
-                Some(kernel) => kernel,
-                None => {
-                    use std::sync::Once;
-                    static WARNED: Once = Once::new();
-                    WARNED.call_once(|| {
-                        eprintln!(
-                            "warning: {KERNEL_ENV}={raw:?} is not a valid value; falling back to {}",
-                            DiagnosisKernel::default()
-                        );
-                    });
-                    DiagnosisKernel::default()
-                }
-            },
-        }
+        march::shard::read_knob(KERNEL_ENV, Self::parse, || {
+            format!("the default kernel ({})", DiagnosisKernel::default())
+        })
+        .unwrap_or_default()
     }
 
     /// Both kernels, for equivalence sweeps.

@@ -1,0 +1,503 @@
+//! Fleet-scale batched diagnosis: many independent SoC jobs through
+//! **one** deterministic executor run.
+//!
+//! Silicon bring-up rarely diagnoses one SoC at a time — a
+//! characterisation lot is dozens of dies (or dozens of candidate
+//! configurations of one die), each an independent job: build the
+//! population, plan the controller's schedule, replay it over every
+//! memory. Running jobs serially leaves the executor idle at every
+//! job boundary: a job with one small memory cannot use more than one
+//! worker no matter how many the plan offers.
+//!
+//! The fleet runner removes those boundaries. It flattens every job's
+//! shardable work items into one global work list per phase and lets
+//! the cost-weighted (or stealing) executor split the *combined* list,
+//! so a worker that finishes its share of one job's memories
+//! immediately continues into the next job's:
+//!
+//! 1. **Build** — every `(job, member)` pair becomes one item of a
+//!    single [`ShardPlan::map_slots`] run, weighted by the calibrated
+//!    build cost of the member's cell count. A member's defects are a
+//!    pure function of `(job seed, member index, geometry)`, so the
+//!    batched build is bit-identical to each job building alone.
+//! 2. **Plan** — each job's [`FastScheme`] plans its population once
+//!    ([`FastScheme::plan_population`]): schedule, delivered patterns,
+//!    Eq. (2) cycle accounting, kernel decision, calibration snapshot.
+//!    Planning is controller work, independent of sharding.
+//! 3. **Diagnose** — every memory of every job becomes one item of a
+//!    single [`run_segments`](ShardPlan::run_segments) run, weighted
+//!    by its job's calibrated [`member_cost`](PopulationPlan::member_cost).
+//!    A segment may span jobs; the worker replays each job-contiguous
+//!    chunk through that job's [`PopulationPlan::run_segment`] and the
+//!    outcomes are demultiplexed back per job and merged
+//!    ([`PopulationPlan::merge`]) in member order.
+//!
+//! Determinism is inherited, not re-proved: the executor returns
+//! results in exact item order for every strategy and worker count,
+//! and `merge` reassembles segment outcomes by global operation
+//! sequence number regardless of where segment boundaries fell — so
+//! each job's [`DiagnosisResult`] is byte-identical to what
+//! [`FastScheme::diagnose_with`] produces for that job alone, under
+//! any plan. Calibration (measured, hand-tuned or online) moves only
+//! the shard *boundaries*, never the results. The fleet determinism
+//! suite asserts both properties across strategies, worker counts and
+//! kernels.
+
+use crate::soc::Soc;
+use crate::SocBuilder;
+use bisd::{DiagnosisResult, FastScheme, MemoryUnderDiagnosis, PopulationPlan, SegmentOutcome};
+use fault_models::DefectProfile;
+use march::shard::{CostCalibration, CostDomain};
+use march::ShardPlan;
+use sram_model::{MemError, MemoryId, Sram};
+
+/// One independent diagnosis job: a population to build and the scheme
+/// to diagnose it with.
+#[derive(Debug, Clone)]
+pub struct FleetJob {
+    builder: SocBuilder,
+    scheme: FastScheme,
+}
+
+impl FleetJob {
+    /// Pairs a population builder with the scheme that will diagnose it.
+    pub fn new(builder: SocBuilder, scheme: FastScheme) -> Self {
+        FleetJob { builder, scheme }
+    }
+
+    /// The job's population builder.
+    pub fn builder(&self) -> &SocBuilder {
+        &self.builder
+    }
+
+    /// The job's diagnosis scheme.
+    pub fn scheme(&self) -> &FastScheme {
+        &self.scheme
+    }
+}
+
+/// Everything the fleet computes *before* any memory is touched: each
+/// job's [`PopulationPlan`] plus the flattened global work list with
+/// its calibrated per-item costs.
+///
+/// Built by [`FleetRunner::plan`]; the cost accessors let the
+/// throughput benchmark model the executor's critical path without
+/// running it.
+#[derive(Debug)]
+pub struct FleetPlan {
+    jobs: Vec<FleetJob>,
+    populations: Vec<PopulationPlan>,
+    /// Flattened `(job, member)` pairs, job-major, member order.
+    members: Vec<(usize, usize)>,
+}
+
+impl FleetPlan {
+    /// Number of jobs in the fleet.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Total number of memories across all jobs.
+    pub fn member_count(&self) -> usize {
+        self.members.len()
+    }
+
+    /// The owning job of every flattened member, in global item order.
+    pub fn member_jobs(&self) -> Vec<usize> {
+        self.members.iter().map(|&(job, _)| job).collect()
+    }
+
+    /// Calibrated diagnosis cost of every flattened member, in global
+    /// item order — exactly the weights the diagnose phase hands the
+    /// executor's cost-aware strategies.
+    pub fn member_costs(&self) -> Vec<u64> {
+        self.members
+            .iter()
+            .map(|&(job, member)| self.populations[job].member_cost(member))
+            .collect()
+    }
+
+    /// Calibrated build cost of every flattened member, in global item
+    /// order — the weights of the batched build phase.
+    pub fn build_costs(&self) -> Vec<u64> {
+        let calibration = CostCalibration::current();
+        self.members
+            .iter()
+            .map(|&(job, member)| {
+                let cells = self.jobs[job].builder.member_configs()[member].cells();
+                calibration.cost(CostDomain::SocBuild, cells)
+            })
+            .collect()
+    }
+
+    /// Job `job`'s population plan.
+    pub fn population_plan(&self, job: usize) -> &PopulationPlan {
+        &self.populations[job]
+    }
+}
+
+/// One job's finished output: the built (and now diagnosed) population
+/// and its diagnosis result.
+#[derive(Debug)]
+pub struct FleetOutcome {
+    soc: Soc,
+    result: DiagnosisResult,
+}
+
+impl FleetOutcome {
+    /// The job's built population.
+    pub fn soc(&self) -> &Soc {
+        &self.soc
+    }
+
+    /// The job's diagnosis result.
+    pub fn result(&self) -> &DiagnosisResult {
+        &self.result
+    }
+
+    /// Scores the diagnosis against the population's injected ground
+    /// truth.
+    pub fn score(&self) -> crate::DiagnosisScore {
+        self.soc.score(&self.result)
+    }
+
+    /// Decomposes into the population and the result.
+    pub fn into_parts(self) -> (Soc, DiagnosisResult) {
+        (self.soc, self.result)
+    }
+}
+
+/// One flattened diagnosis work item: a borrowed memory tagged with its
+/// owning job and its member index within that job.
+#[derive(Debug)]
+struct MemberSlot<'a> {
+    job: usize,
+    member: usize,
+    id: MemoryId,
+    sram: &'a mut Sram,
+}
+
+/// Batched runner for N independent jobs under one [`ShardPlan`].
+///
+/// See the [module documentation](self) for the three-phase pipeline
+/// and the determinism argument.
+#[derive(Debug, Clone, Default)]
+pub struct FleetRunner {
+    shard: ShardPlan,
+}
+
+impl FleetRunner {
+    /// A runner executing under the given shard plan (strategy and
+    /// worker count apply to the *combined* work list of all jobs).
+    pub fn new(shard: ShardPlan) -> Self {
+        FleetRunner { shard }
+    }
+
+    /// The shard plan the runner executes under.
+    pub fn shard_plan(&self) -> &ShardPlan {
+        &self.shard
+    }
+
+    /// Builds, plans and diagnoses every job in one batched pipeline
+    /// and returns one [`FleetOutcome`] per job, in job order.
+    ///
+    /// Degenerate inputs are well-defined, not special-cased
+    /// downstream: **zero jobs** returns an empty vector without
+    /// touching the executor, and **one job under many workers**
+    /// degrades to exactly [`FastScheme::diagnose_with`] — the
+    /// flattened work list is that job's member list, so surplus
+    /// workers idle and the output is the single-job output.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any job's builder holds no memories, or on
+    /// injection / memory-model failures (reported for the first
+    /// failing member in global item order).
+    pub fn run(&self, jobs: &[FleetJob]) -> Result<Vec<FleetOutcome>, MemError> {
+        if jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let plan = self.plan(jobs)?;
+        let mut socs = self.build(&plan)?;
+        let results = self.diagnose(&plan, &mut socs)?;
+        Ok(socs
+            .into_iter()
+            .zip(results)
+            .map(|(soc, result)| FleetOutcome { soc, result })
+            .collect())
+    }
+
+    /// Plans every job (phase 2 of the pipeline) without building or
+    /// diagnosing anything. Zero jobs yields an empty plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if any job's builder holds no memories (the
+    /// same `InvalidConfig` a solo [`SocBuilder::build`] reports).
+    pub fn plan(&self, jobs: &[FleetJob]) -> Result<FleetPlan, MemError> {
+        let mut members = Vec::new();
+        for (job, fleet_job) in jobs.iter().enumerate() {
+            let configs = fleet_job.builder.member_configs();
+            if configs.is_empty() {
+                return Err(MemError::InvalidConfig { words: 0, width: 0 });
+            }
+            members.extend((0..configs.len()).map(|member| (job, member)));
+        }
+        let populations = jobs
+            .iter()
+            .map(|fleet_job| {
+                fleet_job
+                    .scheme
+                    .plan_population(fleet_job.builder.member_configs())
+            })
+            .collect();
+        Ok(FleetPlan {
+            jobs: jobs.to_vec(),
+            populations,
+            members,
+        })
+    }
+
+    /// Builds every job's population through one batched executor run
+    /// (phase 1) and returns the populations in job order — each
+    /// bit-identical to its job building alone, for every strategy and
+    /// worker count.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if injection fails for any member.
+    pub fn build(&self, plan: &FleetPlan) -> Result<Vec<Soc>, MemError> {
+        if plan.jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let profiles: Vec<DefectProfile> = plan
+            .jobs
+            .iter()
+            .map(|fleet_job| fleet_job.builder.defect_profile())
+            .collect();
+        let calibration = CostCalibration::current();
+        let built: Vec<Result<MemoryUnderDiagnosis, MemError>> =
+            self.shard.with_domain(CostDomain::SocBuild).map_slots(
+                &plan.members,
+                |_, &(job, member)| {
+                    let cells = plan.jobs[job].builder.member_configs()[member].cells();
+                    calibration.cost(CostDomain::SocBuild, cells)
+                },
+                || (),
+                |_, _, &(job, member)| {
+                    let builder = plan.jobs[job].builder();
+                    builder.build_member(&profiles[job], member, builder.member_configs()[member])
+                },
+            );
+        let mut socs: Vec<Vec<MemoryUnderDiagnosis>> = plan.jobs.iter().map(|_| Vec::new()).collect();
+        for (&(job, _), member) in plan.members.iter().zip(built) {
+            socs[job].push(member?);
+        }
+        Ok(socs.into_iter().map(Soc::from_memories).collect())
+    }
+
+    /// Diagnoses every job's population through one batched executor
+    /// run (phase 3) and returns the per-job results in job order.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on memory-model validation failures (which
+    /// indicate a bug in the scheme, not in the populations).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `socs` does not match the plan — same job count and,
+    /// per job, the exact geometries the plan was built for (a plan
+    /// replayed over a different population would compare against the
+    /// wrong golden expectations).
+    pub fn diagnose(&self, plan: &FleetPlan, socs: &mut [Soc]) -> Result<Vec<DiagnosisResult>, MemError> {
+        assert_eq!(
+            socs.len(),
+            plan.jobs.len(),
+            "fleet plan and population count must match"
+        );
+        for (job, soc) in socs.iter().enumerate() {
+            assert_eq!(
+                soc.configs(),
+                plan.jobs[job].builder.member_configs(),
+                "job {job}: population geometries must match the plan"
+            );
+        }
+        if plan.jobs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let populations = &plan.populations;
+        let mut slots: Vec<MemberSlot<'_>> = Vec::new();
+        for (job, soc) in socs.iter_mut().enumerate() {
+            for (member, memory) in soc.memories_mut().iter_mut().enumerate() {
+                slots.push(MemberSlot {
+                    job,
+                    member,
+                    id: memory.id,
+                    sram: &mut memory.sram,
+                });
+            }
+        }
+
+        // One global run over all jobs' members. A segment may span
+        // several jobs; each job-contiguous chunk replays through its
+        // own population plan with the chunk's first member index as
+        // the segment base.
+        let groups: Vec<Vec<(usize, Result<SegmentOutcome, MemError>)>> =
+            self.shard.with_domain(CostDomain::Diagnosis).run_segments(
+                &mut slots,
+                |_, slot| populations[slot.job].member_cost(slot.member),
+                |_, segment| {
+                    let mut outcomes = Vec::new();
+                    let mut rest = segment;
+                    while !rest.is_empty() {
+                        let job = rest[0].job;
+                        let len = rest.iter().take_while(|slot| slot.job == job).count();
+                        let (chunk, tail) = rest.split_at_mut(len);
+                        let base = chunk[0].member;
+                        let mut pairs: Vec<(MemoryId, &mut Sram)> =
+                            chunk.iter_mut().map(|slot| (slot.id, &mut *slot.sram)).collect();
+                        outcomes.push((job, populations[job].run_segment(base, &mut pairs)));
+                        rest = tail;
+                    }
+                    outcomes
+                },
+            );
+
+        // Segments come back in item order and chunks within a segment
+        // preserve it too, so each job's outcomes land in member order
+        // — exactly what `merge`'s stable sequence sort expects.
+        let mut per_job: Vec<Vec<SegmentOutcome>> = plan.jobs.iter().map(|_| Vec::new()).collect();
+        for group in groups {
+            for (job, outcome) in group {
+                per_job[job].push(outcome?);
+            }
+        }
+        Ok(per_job
+            .into_iter()
+            .enumerate()
+            .map(|(job, outcomes)| populations[job].merge(outcomes))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use march::ShardStrategy;
+
+    fn mixed_jobs() -> Vec<FleetJob> {
+        let mut jobs = Vec::new();
+        for seed in 0..3u64 {
+            jobs.push(FleetJob::new(
+                Soc::builder()
+                    .memory(64, 16)
+                    .unwrap()
+                    .memories(2, 32, 8)
+                    .unwrap()
+                    .defect_rate(0.02)
+                    .seed(seed),
+                FastScheme::new(10.0),
+            ));
+        }
+        jobs.push(FleetJob::new(
+            Soc::builder()
+                .memories(4, 128, 20)
+                .unwrap()
+                .defect_rate(0.01)
+                .seed(99),
+            FastScheme::new(10.0),
+        ));
+        jobs
+    }
+
+    fn serial_baseline(jobs: &[FleetJob]) -> Vec<(Soc, DiagnosisResult)> {
+        jobs.iter()
+            .map(|job| {
+                let mut soc = job
+                    .builder()
+                    .clone()
+                    .build_with(ShardPlan::with_threads(1))
+                    .unwrap();
+                let result = job
+                    .scheme()
+                    .diagnose_with(ShardPlan::with_threads(1), soc.memories_mut())
+                    .unwrap();
+                (soc, result)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_jobs_is_an_empty_fleet() {
+        let runner = FleetRunner::new(ShardPlan::with_threads(8));
+        assert!(runner.run(&[]).unwrap().is_empty());
+        let plan = runner.plan(&[]).unwrap();
+        assert_eq!(plan.job_count(), 0);
+        assert_eq!(plan.member_count(), 0);
+        assert!(runner.build(&plan).unwrap().is_empty());
+        assert!(runner.diagnose(&plan, &mut []).unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_job_is_rejected_like_a_solo_build() {
+        let job = FleetJob::new(Soc::builder(), FastScheme::new(10.0));
+        let runner = FleetRunner::default();
+        assert!(runner.run(std::slice::from_ref(&job)).is_err());
+    }
+
+    #[test]
+    fn one_job_under_many_workers_matches_the_solo_run() {
+        let jobs = vec![FleetJob::new(
+            Soc::builder()
+                .memories(3, 64, 12)
+                .unwrap()
+                .defect_rate(0.02)
+                .seed(7),
+            FastScheme::new(10.0),
+        )];
+        let baseline = serial_baseline(&jobs);
+        let runner = FleetRunner::new(ShardPlan::with_threads(32));
+        let outcomes = runner.run(&jobs).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(outcomes[0].result(), &baseline[0].1);
+        assert_eq!(
+            outcomes[0].soc().injected_faults(),
+            baseline[0].0.injected_faults()
+        );
+    }
+
+    #[test]
+    fn batched_fleet_matches_per_job_serial_runs() {
+        let jobs = mixed_jobs();
+        let baseline = serial_baseline(&jobs);
+        for strategy in ShardStrategy::all() {
+            let runner = FleetRunner::new(ShardPlan::with_threads(7).with_strategy(strategy));
+            let outcomes = runner.run(&jobs).unwrap();
+            assert_eq!(outcomes.len(), jobs.len());
+            for (outcome, (soc, result)) in outcomes.iter().zip(&baseline) {
+                assert_eq!(outcome.result(), result, "{strategy:?}");
+                assert_eq!(outcome.soc().injected_faults(), soc.injected_faults());
+            }
+        }
+    }
+
+    #[test]
+    fn plan_exposes_the_flattened_cost_model() {
+        let jobs = mixed_jobs();
+        let plan = FleetRunner::default().plan(&jobs).unwrap();
+        assert_eq!(plan.job_count(), jobs.len());
+        assert_eq!(plan.member_count(), 3 * 3 + 4);
+        let member_jobs = plan.member_jobs();
+        assert_eq!(member_jobs.len(), plan.member_count());
+        assert!(
+            member_jobs.windows(2).all(|pair| pair[0] <= pair[1]),
+            "job-major order"
+        );
+        assert_eq!(plan.member_costs().len(), plan.member_count());
+        assert_eq!(plan.build_costs().len(), plan.member_count());
+        assert!(plan.member_costs().iter().all(|&cost| cost > 0));
+        assert!(plan.build_costs().iter().all(|&cost| cost > 0));
+        assert_eq!(plan.population_plan(3).member_count(), 4);
+    }
+}

@@ -9,6 +9,9 @@
 //! * End-to-end diagnosis through the [`bisd`] schemes
 //!   ([`FastScheme`], [`HuangScheme`]) with exact cycle accounting, plus
 //!   scoring of the located faults against the injected ground truth.
+//! * [`fleet`] — fleet-scale batched diagnosis: N independent jobs
+//!   (build + plan + diagnose) flattened into one deterministic
+//!   executor run, with per-job results byte-identical to solo runs.
 //! * [`analytic`] — the paper's closed-form diagnosis-time models
 //!   (Eq. 1–4) and reduction factors.
 //! * [`area`] — the Sec. 4.3 transistor-count area model (D-FF = two 6T
@@ -48,6 +51,7 @@ pub mod analytic;
 pub mod area;
 pub mod case_study;
 pub mod coverage;
+pub mod fleet;
 pub mod score;
 pub mod soc;
 pub mod sweeps;
@@ -56,6 +60,7 @@ pub use analytic::{AnalyticModel, TimeBreakdown};
 pub use area::{AreaModel, AreaReport};
 pub use case_study::{CaseStudy, CaseStudyReport};
 pub use coverage::scheme_coverage;
+pub use fleet::{FleetJob, FleetOutcome, FleetPlan, FleetRunner};
 pub use score::DiagnosisScore;
 pub use soc::{Soc, SocBuilder};
 pub use sweeps::{defect_rate_sweep, size_sweep, DefectRatePoint, SizePoint};

@@ -3,6 +3,7 @@
 use crate::score::DiagnosisScore;
 use bisd::{DiagnosisResult, MemoryUnderDiagnosis};
 use fault_models::{DefectProfile, FaultInjector};
+use march::shard::{CostCalibration, CostDomain};
 use march::ShardPlan;
 use sram_model::{MemConfig, MemError, MemoryId};
 use std::fmt;
@@ -116,13 +117,14 @@ impl SocBuilder {
     /// Builds the population under an explicit [`ShardPlan`].
     ///
     /// Defect injection runs on the deterministic executor, with each
-    /// memory weighted by its cell count so heterogeneous populations
-    /// (a few big e-SRAMs among many small buffers) split evenly under
-    /// the cost-aware strategies. Memory `i` always draws from RNG
-    /// stream `i` of the builder seed ([`FaultInjector::for_stream`]),
-    /// so the built population is bit-identical for every strategy and
-    /// worker count — a 512-memory benchmark SoC no longer costs more
-    /// to build than to diagnose, without giving up reproducibility.
+    /// memory weighted by the calibrated build cost of its cell count
+    /// so heterogeneous populations (a few big e-SRAMs among many small
+    /// buffers) split evenly under the cost-aware strategies. Memory
+    /// `i` always draws from RNG stream `i` of the builder seed
+    /// ([`FaultInjector::for_stream`]), so the built population is
+    /// bit-identical for every strategy and worker count — a 512-memory
+    /// benchmark SoC no longer costs more to build than to diagnose,
+    /// without giving up reproducibility.
     ///
     /// # Errors
     ///
@@ -131,34 +133,55 @@ impl SocBuilder {
         if self.configs.is_empty() {
             return Err(MemError::InvalidConfig { words: 0, width: 0 });
         }
-        let profile = if self.include_drf {
-            DefectProfile::with_data_retention(self.defect_rate)
-        } else {
-            DefectProfile::date2005(self.defect_rate)
-        };
-        let (seed, spares, defect_rate) = (self.seed, self.spares, self.defect_rate);
-        let build_member = |index: usize, config: MemConfig| -> Result<MemoryUnderDiagnosis, MemError> {
-            let id = MemoryId::new(index as u32);
-            let memory = if defect_rate > 0.0 {
-                let mut injector = FaultInjector::for_stream(seed, index as u64);
-                MemoryUnderDiagnosis::with_defects(id, config, &mut injector, &profile)?
-            } else {
-                MemoryUnderDiagnosis::pristine(id, config)
-            };
-            Ok(memory.with_spares(spares))
-        };
-
-        let built: Vec<Result<MemoryUnderDiagnosis, MemError>> = plan.map_slots(
-            &self.configs,
-            |_, config| config.cells(),
-            || (),
-            |_, index, &config| build_member(index, config),
-        );
+        let profile = self.defect_profile();
+        let calibration = CostCalibration::current();
+        let built: Vec<Result<MemoryUnderDiagnosis, MemError>> =
+            plan.with_domain(CostDomain::SocBuild).map_slots(
+                &self.configs,
+                |_, config| calibration.cost(CostDomain::SocBuild, config.cells()),
+                || (),
+                |_, index, &config| self.build_member(&profile, index, config),
+            );
         let mut memories = Vec::with_capacity(built.len());
         for member in built {
             memories.push(member?);
         }
         Ok(Soc { memories })
+    }
+
+    /// The defect profile this builder injects from.
+    pub(crate) fn defect_profile(&self) -> DefectProfile {
+        if self.include_drf {
+            DefectProfile::with_data_retention(self.defect_rate)
+        } else {
+            DefectProfile::date2005(self.defect_rate)
+        }
+    }
+
+    /// Geometries the builder will construct, in member order.
+    pub(crate) fn member_configs(&self) -> &[MemConfig] {
+        &self.configs
+    }
+
+    /// Constructs member `index` of the population — a pure function of
+    /// `(seed, index, config)`: defects come from RNG stream `index`
+    /// of the builder seed, so a member is bit-identical whether the
+    /// population is built sequentially, sharded, or interleaved with
+    /// other populations' members inside a fleet batch.
+    pub(crate) fn build_member(
+        &self,
+        profile: &DefectProfile,
+        index: usize,
+        config: MemConfig,
+    ) -> Result<MemoryUnderDiagnosis, MemError> {
+        let id = MemoryId::new(index as u32);
+        let memory = if self.defect_rate > 0.0 {
+            let mut injector = FaultInjector::for_stream(self.seed, index as u64);
+            MemoryUnderDiagnosis::with_defects(id, config, &mut injector, profile)?
+        } else {
+            MemoryUnderDiagnosis::pristine(id, config)
+        };
+        Ok(memory.with_spares(self.spares))
     }
 }
 
@@ -173,6 +196,12 @@ impl Soc {
     /// Starts building a population.
     pub fn builder() -> SocBuilder {
         SocBuilder::new()
+    }
+
+    /// Assembles a population from already-built members (the fleet
+    /// runner's demultiplexing path; members must be in builder order).
+    pub(crate) fn from_memories(memories: Vec<MemoryUnderDiagnosis>) -> Soc {
+        Soc { memories }
     }
 
     /// The paper's benchmark population: `count` e-SRAMs of 512 words ×

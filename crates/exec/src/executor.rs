@@ -16,6 +16,7 @@
 //!   merge in block-index order through per-block slots, regardless of
 //!   which thread claimed which block.
 
+use crate::calibrate::{self, CalibrationMode, CostDomain};
 use crate::plan::{block_ranges, cost_ranges, even_ranges, ShardPlan, ShardStrategy};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -25,6 +26,57 @@ use std::sync::Mutex;
 /// item index of the block plus the block's slice, taken exactly once
 /// by whichever worker claims the block's index.
 type ClaimableBlock<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+
+/// Observes shard timings for the online cost calibrator.
+///
+/// Inert (a `None` domain, zero-cost checks) unless the plan is tagged
+/// with a [`CostDomain`] *and* [`CalibrationMode::Online`] is selected;
+/// when active, each shard/block execution is timed and reported via
+/// [`calibrate::record_shard_sample`]. Sampling never touches results
+/// — it only feeds the weights future partitions are balanced by.
+#[derive(Clone, Copy)]
+struct ShardSampler {
+    domain: Option<CostDomain>,
+}
+
+impl ShardSampler {
+    fn for_plan(plan: &ShardPlan) -> Self {
+        ShardSampler {
+            domain: plan
+                .domain()
+                .filter(|_| CalibrationMode::from_env() == CalibrationMode::Online),
+        }
+    }
+
+    fn active(&self) -> bool {
+        self.domain.is_some()
+    }
+
+    /// Sums per-item cost units over an index range, only when active
+    /// (the cost closure is otherwise not consulted more than the
+    /// strategy itself requires).
+    fn units_over(&self, range: Range<usize>, mut cost_of: impl FnMut(usize) -> u64) -> u64 {
+        if !self.active() {
+            return 0;
+        }
+        range.fold(0u64, |acc, index| acc.saturating_add(cost_of(index)))
+    }
+
+    /// Runs a shard's work, recording `(items, units, elapsed)` when
+    /// active.
+    fn observe<R>(&self, items: usize, units: u64, run: impl FnOnce() -> R) -> R {
+        match self.domain {
+            None => run(),
+            Some(domain) => {
+                let started = std::time::Instant::now();
+                let result = run();
+                let elapsed = started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                calibrate::record_shard_sample(domain, items as u64, units, elapsed);
+                result
+            }
+        }
+    }
+}
 
 /// Per-item cost estimate used by [`ShardStrategy::Cost`] (and by the
 /// block-stealing critical-path model in benches).
@@ -101,13 +153,17 @@ impl ShardPlan {
         if items.is_empty() {
             return Vec::new();
         }
+        let sampler = ShardSampler::for_plan(self);
         let run_inline = |items: &[T]| {
-            let mut state = init();
-            items
-                .iter()
-                .enumerate()
-                .map(|(index, item)| work(&mut state, index, item))
-                .collect::<Vec<R>>()
+            let units = sampler.units_over(0..items.len(), |index| cost(index, &items[index]));
+            sampler.observe(items.len(), units, || {
+                let mut state = init();
+                items
+                    .iter()
+                    .enumerate()
+                    .map(|(index, item)| work(&mut state, index, item))
+                    .collect::<Vec<R>>()
+            })
         };
         if self.shard_count(items.len()) <= 1 {
             return run_inline(items);
@@ -122,14 +178,18 @@ impl ShardPlan {
                     let workers: Vec<_> = ranges
                         .into_iter()
                         .map(|range| {
-                            let (init, work) = (&init, &work);
+                            let (init, work, cost) = (&init, &work, &cost);
                             scope.spawn(move || {
-                                let mut state = init();
-                                items[range.clone()]
-                                    .iter()
-                                    .zip(range)
-                                    .map(|(item, index)| work(&mut state, index, item))
-                                    .collect::<Vec<R>>()
+                                let units =
+                                    sampler.units_over(range.clone(), |index| cost(index, &items[index]));
+                                sampler.observe(range.len(), units, || {
+                                    let mut state = init();
+                                    items[range.clone()]
+                                        .iter()
+                                        .zip(range.clone())
+                                        .map(|(item, index)| work(&mut state, index, item))
+                                        .collect::<Vec<R>>()
+                                })
                             })
                         })
                         .collect();
@@ -155,11 +215,15 @@ impl ShardPlan {
                             loop {
                                 let claimed = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(block) = blocks.get(claimed) else { break };
-                                let results: Vec<R> = items[block.clone()]
-                                    .iter()
-                                    .zip(block.clone())
-                                    .map(|(item, index)| work(&mut state, index, item))
-                                    .collect();
+                                let units =
+                                    sampler.units_over(block.clone(), |index| cost(index, &items[index]));
+                                let results: Vec<R> = sampler.observe(block.len(), units, || {
+                                    items[block.clone()]
+                                        .iter()
+                                        .zip(block.clone())
+                                        .map(|(item, index)| work(&mut state, index, item))
+                                        .collect()
+                                });
                                 *slots[claimed].lock().expect("block slot poisoned") = Some(results);
                             }
                         });
@@ -202,15 +266,26 @@ impl ShardPlan {
         if items.is_empty() {
             return Vec::new();
         }
+        let sampler = ShardSampler::for_plan(self);
         if self.shard_count(items.len()) <= 1 {
-            return vec![work(0, items)];
+            let units = sampler.units_over(0..items.len(), |index| cost(index, &items[index]));
+            let len = items.len();
+            return vec![sampler.observe(len, units, || work(0, items))];
         }
         match self.strategy() {
             ShardStrategy::Even | ShardStrategy::Cost => {
                 let ranges = self.contiguous_ranges(items.len(), |index| cost(index, &items[index]));
                 if ranges.len() <= 1 {
-                    return vec![work(0, items)];
+                    let units = sampler.units_over(0..items.len(), |index| cost(index, &items[index]));
+                    let len = items.len();
+                    return vec![sampler.observe(len, units, || work(0, items))];
                 }
+                // Per-range units are summed before the mutable split
+                // below makes the items unreadable through `cost`.
+                let range_units: Vec<u64> = ranges
+                    .iter()
+                    .map(|range| sampler.units_over(range.clone(), |index| cost(index, &items[index])))
+                    .collect();
                 let mut segments: Vec<(usize, &mut [T])> = Vec::with_capacity(ranges.len());
                 let mut rest = items;
                 for range in &ranges {
@@ -221,9 +296,13 @@ impl ShardPlan {
                 std::thread::scope(|scope| {
                     let workers: Vec<_> = segments
                         .into_iter()
-                        .map(|(base, segment)| {
+                        .zip(range_units)
+                        .map(|((base, segment), units)| {
                             let work = &work;
-                            scope.spawn(move || work(base, segment))
+                            scope.spawn(move || {
+                                let len = segment.len();
+                                sampler.observe(len, units, || work(base, segment))
+                            })
                         })
                         .collect();
                     workers
@@ -234,6 +313,14 @@ impl ShardPlan {
             }
             ShardStrategy::Steal => {
                 let block_size = self.block_size();
+                let block_units: Vec<u64> = if sampler.active() {
+                    block_ranges(items.len(), block_size)
+                        .into_iter()
+                        .map(|range| sampler.units_over(range, |index| cost(index, &items[index])))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
                 let blocks: Vec<ClaimableBlock<'_, T>> = items
                     .chunks_mut(block_size)
                     .enumerate()
@@ -243,12 +330,15 @@ impl ShardPlan {
                 if workers <= 1 {
                     return blocks
                         .into_iter()
-                        .map(|block| {
+                        .enumerate()
+                        .map(|(index, block)| {
                             let (base, segment) = block
                                 .into_inner()
                                 .expect("block slot poisoned")
                                 .expect("block present");
-                            work(base, segment)
+                            let units = block_units.get(index).copied().unwrap_or(0);
+                            let len = segment.len();
+                            sampler.observe(len, units, || work(base, segment))
                         })
                         .collect();
                 }
@@ -264,7 +354,10 @@ impl ShardPlan {
                                 .expect("block slot poisoned")
                                 .take()
                                 .expect("each block is claimed exactly once");
-                            *slots[claimed].lock().expect("result slot poisoned") = Some(work(base, segment));
+                            let units = block_units.get(claimed).copied().unwrap_or(0);
+                            let len = segment.len();
+                            *slots[claimed].lock().expect("result slot poisoned") =
+                                Some(sampler.observe(len, units, || work(base, segment)));
                         });
                     }
                 });

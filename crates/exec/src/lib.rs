@@ -31,15 +31,29 @@
 //! pure function of the item (plus shared read-only state) — per-worker
 //! scratch state (a reusable memory, a golden store) must not leak
 //! observable effects between items.
+//!
+//! Two supporting modules round out the crate:
+//!
+//! * [`env`] centralises the `ESRAM_*` knob parsing (warn-once fallback
+//!   on malformed values) so every knob shares one discipline.
+//! * [`calibrate`] prices work items: a [`CostCalibration`] table maps
+//!   each [`CostDomain`] (fault sim, diagnosis, SoC build) to measured
+//!   `fixed + unit · units` picosecond weights, replacing the old
+//!   hand-tuned per-call-site constants. Calibration moves shard
+//!   *boundaries* only — results are byte-identical under any table.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
+pub mod calibrate;
+pub mod env;
 pub mod executor;
 pub mod plan;
 
+pub use calibrate::{CalibrationMode, CostCalibration, CostDomain, DomainWeights, CALIB_ENV};
+pub use env::EnvFallback;
 pub use executor::WorkCost;
 pub use plan::{
-    block_ranges, cost_ranges, even_ranges, steal_schedule, EnvFallback, ShardPlan, ShardStrategy,
-    DEFAULT_BLOCK_SIZE, SCHED_ENV, THREADS_ENV,
+    block_ranges, cost_ranges, even_ranges, steal_schedule, ShardPlan, ShardStrategy, DEFAULT_BLOCK_SIZE,
+    SCHED_ENV, THREADS_ENV,
 };

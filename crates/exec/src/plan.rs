@@ -12,6 +12,9 @@
 use std::fmt;
 use std::ops::Range;
 
+use crate::calibrate::CostDomain;
+use crate::env::{self, EnvFallback};
+
 /// Environment variable overriding the default worker count used by
 /// [`ShardPlan::from_env`]. Values that are not a positive integer fall
 /// back to the auto-detected parallelism.
@@ -79,39 +82,6 @@ impl fmt::Display for ShardStrategy {
     }
 }
 
-/// A set-but-malformed environment knob and the value that was used in
-/// its place, as reported by [`ShardPlan::from_env_values`].
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct EnvFallback {
-    /// The environment variable holding the rejected value.
-    pub variable: &'static str,
-    /// The raw value that failed to parse.
-    pub rejected: String,
-    /// Human-readable description of what was used instead.
-    pub fallback: String,
-}
-
-impl EnvFallback {
-    /// Prints the fallback warning to stderr, at most once per variable
-    /// per process (repeated `from_env` calls — one per diagnosis run —
-    /// must not turn one typo into a warning flood).
-    pub fn warn_once(&self) {
-        use std::sync::Once;
-        static THREADS_WARNED: Once = Once::new();
-        static SCHED_WARNED: Once = Once::new();
-        let once = match self.variable {
-            THREADS_ENV => &THREADS_WARNED,
-            _ => &SCHED_WARNED,
-        };
-        once.call_once(|| {
-            eprintln!(
-                "warning: {}={:?} is not a valid value; falling back to {}",
-                self.variable, self.rejected, self.fallback
-            );
-        });
-    }
-}
-
 /// How a work list is split across worker threads.
 ///
 /// `threads == 1` is the sequential case: the executor runs the whole
@@ -123,6 +93,7 @@ pub struct ShardPlan {
     threads: usize,
     strategy: ShardStrategy,
     block_size: usize,
+    domain: Option<CostDomain>,
 }
 
 impl ShardPlan {
@@ -138,6 +109,7 @@ impl ShardPlan {
             threads: threads.max(1),
             strategy: ShardStrategy::default(),
             block_size: DEFAULT_BLOCK_SIZE,
+            domain: None,
         }
     }
 
@@ -172,29 +144,20 @@ impl ShardPlan {
     pub fn from_env_values(threads: Option<&str>, sched: Option<&str>) -> (Self, Vec<EnvFallback>) {
         let mut fallbacks = Vec::new();
         let default_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
-        let mut plan = match threads {
-            Some(raw) => match raw.trim().parse::<usize>().ok().filter(|&t| t >= 1) {
-                Some(parsed) => ShardPlan::with_threads(parsed),
-                None => {
-                    fallbacks.push(EnvFallback {
-                        variable: THREADS_ENV,
-                        rejected: raw.to_string(),
-                        fallback: format!("auto-detected parallelism ({default_threads})"),
-                    });
-                    ShardPlan::with_threads(default_threads)
-                }
-            },
-            None => ShardPlan::with_threads(default_threads),
-        };
-        if let Some(raw) = sched {
-            match ShardStrategy::parse(raw) {
-                Some(strategy) => plan = plan.with_strategy(strategy),
-                None => fallbacks.push(EnvFallback {
-                    variable: SCHED_ENV,
-                    rejected: raw.to_string(),
-                    fallback: format!("default strategy ({})", ShardStrategy::default()),
-                }),
-            }
+        let (parsed_threads, report) = env::parse_knob(
+            THREADS_ENV,
+            threads,
+            |raw| raw.trim().parse::<usize>().ok().filter(|&t| t >= 1),
+            || format!("auto-detected parallelism ({default_threads})"),
+        );
+        fallbacks.extend(report);
+        let mut plan = ShardPlan::with_threads(parsed_threads.unwrap_or(default_threads));
+        let (strategy, report) = env::parse_knob(SCHED_ENV, sched, ShardStrategy::parse, || {
+            format!("default strategy ({})", ShardStrategy::default())
+        });
+        fallbacks.extend(report);
+        if let Some(strategy) = strategy {
+            plan = plan.with_strategy(strategy);
         }
         (plan, fallbacks)
     }
@@ -220,6 +183,21 @@ impl ShardPlan {
     /// The scheduling strategy.
     pub fn strategy(&self) -> ShardStrategy {
         self.strategy
+    }
+
+    /// Tags the plan with the cost domain its items belong to, so the
+    /// executors can attribute shard timings to the right calibration
+    /// row when the online sampler is active. Purely observational: the
+    /// tag never influences partitioning or results, and untagged plans
+    /// are simply never sampled.
+    pub fn with_domain(mut self, domain: CostDomain) -> Self {
+        self.domain = Some(domain);
+        self
+    }
+
+    /// The cost domain the plan's items belong to, if tagged.
+    pub fn domain(&self) -> Option<CostDomain> {
+        self.domain
     }
 
     /// The stealing block size.

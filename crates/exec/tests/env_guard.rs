@@ -5,7 +5,7 @@
 //! this test turns that into a loud failure. The matrix runs it once
 //! per configuration before the determinism suites.
 
-use esram_exec::{ShardPlan, SCHED_ENV, THREADS_ENV};
+use esram_exec::{CalibrationMode, ShardPlan, CALIB_ENV, SCHED_ENV, THREADS_ENV};
 
 #[test]
 fn ambient_executor_knobs_are_well_formed() {
@@ -17,4 +17,19 @@ fn ambient_executor_knobs_are_well_formed() {
         "malformed executor knob(s) in the environment: {fallbacks:?} \
          (the run would silently fall back to {plan})"
     );
+}
+
+#[test]
+fn ambient_calibration_knob_is_well_formed() {
+    // Same guard for the cost-calibration mode: a matrix entry like
+    // `ESRAM_COST_CALIB=onlien` must fail this test loudly instead of
+    // silently running the measured default under an online label.
+    if let Ok(raw) = std::env::var(CALIB_ENV) {
+        assert!(
+            CalibrationMode::parse(&raw).is_some(),
+            "malformed {CALIB_ENV}='{raw}' in the environment \
+             (the run would silently fall back to {:?})",
+            CalibrationMode::default()
+        );
+    }
 }

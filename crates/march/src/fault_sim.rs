@@ -45,9 +45,10 @@ use crate::coverage::CoverageReport;
 use crate::engine::{MarchRunner, RunOutcome};
 use crate::ops::MarchTest;
 use crate::schedule::{MarchSchedule, SchedulePatterns, SchedulePhase};
-use crate::shard::ShardPlan;
+use crate::shard::{CostCalibration, CostDomain, ShardPlan};
 use fault_models::{FaultList, MemoryFault};
 use sram_model::{Address, CellFault, MemConfig, Sram};
+use std::collections::BTreeMap;
 
 /// Outcome of simulating one fault instance against one programme.
 #[derive(Debug, Clone, PartialEq)]
@@ -66,6 +67,19 @@ pub struct FaultSimOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultSimulator {
     config: MemConfig,
+}
+
+/// One independent fault-simulation job of a batched multi-universe
+/// run ([`FaultSimulator::simulate_universes_with`]): a simulator (and
+/// thus a geometry), the schedule it runs, and the universe it sweeps.
+#[derive(Debug, Clone, Copy)]
+pub struct UniverseJob<'a> {
+    /// The simulator (geometry) the job's faults are simulated on.
+    pub sim: FaultSimulator,
+    /// The March schedule the job runs.
+    pub schedule: &'a MarchSchedule,
+    /// The fault universe to sweep.
+    pub universe: &'a FaultList,
 }
 
 /// Per-universe shared state, built once and borrowed by every shard
@@ -265,21 +279,85 @@ impl FaultSimulator {
         universe: &FaultList,
     ) -> Vec<FaultSimOutcome> {
         let prep = self.prepare(schedule);
-        plan.map_slots(
+        let calibration = CostCalibration::current();
+        plan.with_domain(CostDomain::FaultSim).map_slots(
             universe.as_slice(),
-            |_, fault| self.fault_cost(prep.golden_passed, fault),
+            |_, fault| calibration.cost(CostDomain::FaultSim, self.fault_cost(prep.golden_passed, fault)),
             || Sram::new(self.config),
             |sram, _, fault| self.simulate_fault_batched(sram, &prep, fault),
         )
     }
 
-    /// Relative simulation cost of one fault: the number of rows its
-    /// run will sweep. Pruned single-row classes sweep one row, coupling
-    /// faults two; fallback classes (stuck-open, decoder) — and every
-    /// fault when the golden run failed (`golden_passed == false`) —
-    /// sweep the whole address space. This is the cost model the
-    /// cost-weighted and stealing strategies balance shards with; it
-    /// never changes outcomes, only the partition.
+    /// Simulates several independent (simulator, schedule, universe)
+    /// jobs in **one** executor run: every job's faults are flattened
+    /// into a single global work list, partitioned by the active
+    /// calibrated cost model across *all* jobs at once, and the
+    /// outcomes are demultiplexed back per job in exact universe order.
+    ///
+    /// Each per-job outcome vector is byte-identical to what
+    /// [`FaultSimulator::simulate_universe_with`] returns for that job
+    /// alone, at any strategy and worker count — flattening preserves
+    /// (job, fault) order and per-fault outcomes are pure functions of
+    /// their job's prep. The point of batching is the partition: a
+    /// worker finishing a cheap job's pruned faults immediately picks
+    /// up another job's full-sweep tail instead of idling at a job
+    /// boundary.
+    ///
+    /// Degenerate inputs take documented early returns instead of
+    /// panicking: an empty job list yields an empty result (nothing is
+    /// prepared, no worker spawns), and jobs with empty universes
+    /// contribute empty outcome vectors.
+    pub fn simulate_universes_with(plan: ShardPlan, jobs: &[UniverseJob<'_>]) -> Vec<Vec<FaultSimOutcome>> {
+        if jobs.is_empty() {
+            // Early return: no jobs means no preps and no executor run.
+            return Vec::new();
+        }
+        let preps: Vec<UniversePrep<'_>> = jobs.iter().map(|job| job.sim.prepare(job.schedule)).collect();
+        let flat: Vec<(usize, usize)> = jobs
+            .iter()
+            .enumerate()
+            .flat_map(|(job_index, job)| (0..job.universe.len()).map(move |fault| (job_index, fault)))
+            .collect();
+        let calibration = CostCalibration::current();
+        let outcomes = plan.with_domain(CostDomain::FaultSim).map_slots(
+            &flat,
+            |_, &(job, fault)| {
+                let fault = &jobs[job].universe.as_slice()[fault];
+                calibration.cost(
+                    CostDomain::FaultSim,
+                    jobs[job].sim.fault_cost(preps[job].golden_passed, fault),
+                )
+            },
+            // Jobs at different geometries need different scratch
+            // memories; each worker keeps one per geometry it meets.
+            BTreeMap::<(u64, usize), Sram>::new,
+            |srams, _, &(job, fault)| {
+                let sim = &jobs[job].sim;
+                let sram = srams
+                    .entry((sim.config.words(), sim.config.width()))
+                    .or_insert_with(|| Sram::new(sim.config));
+                sim.simulate_fault_batched(sram, &preps[job], &jobs[job].universe.as_slice()[fault])
+            },
+        );
+        let mut per_job: Vec<Vec<FaultSimOutcome>> = jobs
+            .iter()
+            .map(|job| Vec::with_capacity(job.universe.len()))
+            .collect();
+        for (&(job, _), outcome) in flat.iter().zip(outcomes) {
+            per_job[job].push(outcome);
+        }
+        per_job
+    }
+
+    /// Physical size of one fault's run: the number of rows its
+    /// (possibly pruned) sweep will visit. Pruned single-row classes
+    /// sweep one row, coupling faults two; fallback classes
+    /// (stuck-open, decoder) — and every fault when the golden run
+    /// failed (`golden_passed == false`) — sweep the whole address
+    /// space. The batched entry points price these row units through
+    /// the active [`CostCalibration`] (`FaultSim` domain) to steer the
+    /// cost-weighted and stealing strategies; neither the units nor the
+    /// calibration ever change outcomes, only the partition.
     pub fn fault_cost(&self, golden_passed: bool, fault: &MemoryFault) -> u64 {
         let full_sweep = self.config.words();
         if !golden_passed {

@@ -5,9 +5,15 @@
 //! and SoC construction (`esram-diag`) adopted the same pattern, the
 //! plan — and the executor built around it — moved to the dedicated
 //! [`esram_exec`] crate. Everything is re-exported here so existing
-//! `march::ShardPlan` / `march::shard::THREADS_ENV` paths keep working.
+//! `march::ShardPlan` / `march::shard::THREADS_ENV` paths keep working,
+//! and so downstream crates (`bisd`, `esram-diag`) reach the shared
+//! env-knob and cost-calibration machinery without a direct `esram-exec`
+//! dependency edge.
 
 pub use esram_exec::{
-    block_ranges, cost_ranges, even_ranges, steal_schedule, ShardPlan, ShardStrategy, WorkCost,
-    DEFAULT_BLOCK_SIZE, SCHED_ENV, THREADS_ENV,
+    block_ranges, cost_ranges, even_ranges, steal_schedule, CalibrationMode, CostCalibration, CostDomain,
+    DomainWeights, EnvFallback, ShardPlan, ShardStrategy, WorkCost, CALIB_ENV, DEFAULT_BLOCK_SIZE, SCHED_ENV,
+    THREADS_ENV,
 };
+
+pub use esram_exec::env::{parse_knob, read_knob};

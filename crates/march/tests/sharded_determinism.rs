@@ -13,7 +13,7 @@
 use fault_models::{FaultList, FaultUniverse, MemoryFault};
 use march::{
     algorithms, AddressOrder, CoverageReport, DataBackground, FaultSimulator, MarchElement, MarchOp,
-    MarchSchedule, MarchTest, ShardPlan, ShardStrategy,
+    MarchSchedule, MarchTest, ShardPlan, ShardStrategy, UniverseJob,
 };
 use proptest::prelude::*;
 use sram_model::cell::CellCoord;
@@ -263,6 +263,60 @@ proptest! {
         let batched = sim.simulate_universe(&schedule, &universe);
         let oracle = sim.simulate_fault_schedule(&schedule, &fault);
         prop_assert_eq!(&batched[0], &oracle);
+    }
+}
+
+#[test]
+fn batched_universes_match_per_job_sequential_runs() {
+    // The fleet path: several independent (simulator, schedule,
+    // universe) jobs flattened into one executor run must demultiplex
+    // into exactly the outcomes each job produces alone — for every
+    // strategy and worker count, including jobs of different geometry
+    // and different programmes interleaved in one work list.
+    let config_a = config();
+    let config_b = MemConfig::new(32, 4).unwrap();
+    let sim_a = FaultSimulator::new(config_a);
+    let sim_b = FaultSimulator::new(config_b);
+    let schedule_a = nwrtm_schedule();
+    let schedule_b = MarchSchedule::single(algorithms::march_c_minus(), DataBackground::Checkerboard);
+    let universe_a = mixed_universe();
+    let universe_b = FaultUniverse::new(config_b).date2005_baseline();
+    let universe_c: FaultList = mixed_universe().iter().copied().take(7).collect();
+    let jobs = [
+        UniverseJob {
+            sim: sim_a,
+            schedule: &schedule_a,
+            universe: &universe_a,
+        },
+        UniverseJob {
+            sim: sim_b,
+            schedule: &schedule_b,
+            universe: &universe_b,
+        },
+        UniverseJob {
+            sim: sim_a,
+            schedule: &schedule_b,
+            universe: &universe_c,
+        },
+    ];
+    let baseline: Vec<_> = jobs
+        .iter()
+        .map(|job| {
+            job.sim
+                .simulate_universe_with(ShardPlan::sequential(), job.schedule, job.universe)
+        })
+        .collect();
+
+    assert!(FaultSimulator::simulate_universes_with(ShardPlan::with_threads(7), &[]).is_empty());
+    for strategy in ShardStrategy::all() {
+        for threads in [1, 2, 7, 32] {
+            let plan = ShardPlan::with_threads(threads).with_strategy(strategy);
+            let batched = FaultSimulator::simulate_universes_with(plan, &jobs);
+            assert_eq!(
+                batched, baseline,
+                "batched universe outcomes diverged from per-job runs under {plan}"
+            );
+        }
     }
 }
 
