@@ -223,7 +223,7 @@ fn bench_fleet(c: &mut Criterion) {
     // runs before its speed is worth recording.
     let baseline = serial_results(&jobs);
     let outcomes = FleetRunner::new(ShardPlan::with_threads(MODEL_WORKERS))
-        .run(&jobs)
+        .run_all(&jobs)
         .expect("fleet runs");
     assert_eq!(outcomes.len(), baseline.len());
     for (outcome, expected) in outcomes.iter().zip(&baseline) {
@@ -246,7 +246,7 @@ fn bench_fleet(c: &mut Criterion) {
         b.iter(|| {
             black_box(
                 FleetRunner::new(ShardPlan::with_threads(1))
-                    .run(&jobs)
+                    .run_all(&jobs)
                     .unwrap()
                     .len(),
             )

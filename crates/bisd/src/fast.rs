@@ -7,7 +7,7 @@ use crate::log::{DiagnosisLog, DiagnosisRecord};
 use crate::population::GoldenStore;
 use crate::result::DiagnosisResult;
 use crate::scheme::{DiagnosisScheme, MemoryUnderDiagnosis};
-use march::shard::{CostCalibration, CostDomain};
+use march::shard::{failpoint, CostCalibration, CostDomain, ExecError, RunToken};
 use march::{algorithms, AddressOrder, DataBackground, MarchElement, MarchOp, MarchSchedule, ShardPlan};
 use serial::{ParallelToSerialConverter, PatternDeliveryBus, ShiftOrder};
 use sram_model::{Address, DataWord, MemConfig, MemError, MemoryId, MemoryPort, Sram};
@@ -149,6 +149,41 @@ impl DiagnosisScheme for FastScheme {
     }
 }
 
+/// A fallible diagnosis run failed: either the memory model rejected an
+/// operation (a scheme bug) or the executor reported a contained
+/// failure — a worker panic, a cancelled [`RunToken`] or an expired
+/// deadline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DiagError {
+    /// A memory-model validation failure surfaced by the scheme.
+    Memory(MemError),
+    /// The executor run failed (worker panic, cancellation, deadline).
+    Exec(ExecError),
+}
+
+impl fmt::Display for DiagError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DiagError::Memory(error) => write!(f, "memory model error: {error}"),
+            DiagError::Exec(error) => write!(f, "execution error: {error}"),
+        }
+    }
+}
+
+impl std::error::Error for DiagError {}
+
+impl From<MemError> for DiagError {
+    fn from(error: MemError) -> Self {
+        DiagError::Memory(error)
+    }
+}
+
+impl From<ExecError> for DiagError {
+    fn from(error: ExecError) -> Self {
+        DiagError::Exec(error)
+    }
+}
+
 /// One March element of the schedule as planned by the controller before
 /// any memory is touched: its position in the schedule, the comparator
 /// label, the per-element retention pause and the serially delivered
@@ -237,6 +272,58 @@ impl FastScheme {
                 |index, _| population.member_cost(index),
                 |base, segment| population.run_segment(base, segment),
             );
+        let mut outcomes = Vec::with_capacity(worker_results.len());
+        for result in worker_results {
+            outcomes.push(result?);
+        }
+        Ok(population.merge(outcomes))
+    }
+
+    /// Fallible [`FastScheme::diagnose_with`]: the same byte-identical
+    /// result, but worker panics are contained and `token` cancellation
+    /// and deadlines stop the run at segment boundaries with clean
+    /// teardown — the memories are resettable and reusable afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`DiagError::Memory`] on memory-model validation failures;
+    /// [`DiagError::Exec`] when a worker panicked or the token stopped
+    /// the run.
+    pub fn try_diagnose_with(
+        &self,
+        plan: ShardPlan,
+        token: &RunToken,
+        memories: &mut [MemoryUnderDiagnosis],
+    ) -> Result<DiagnosisResult, DiagError> {
+        let mut members: Vec<(MemoryId, &mut Sram)> =
+            memories.iter_mut().map(|m| (m.id, &mut m.sram)).collect();
+        self.try_diagnose_ports_with(plan, token, &mut members)
+    }
+
+    /// Fallible [`FastScheme::diagnose_ports_with`] (see
+    /// [`FastScheme::try_diagnose_with`]).
+    ///
+    /// # Errors
+    ///
+    /// [`DiagError::Memory`] on memory-model validation failures;
+    /// [`DiagError::Exec`] when a worker panicked or the token stopped
+    /// the run.
+    pub fn try_diagnose_ports_with<M: MemoryPort + Send>(
+        &self,
+        plan: ShardPlan,
+        token: &RunToken,
+        memories: &mut [(MemoryId, M)],
+    ) -> Result<DiagnosisResult, DiagError> {
+        assert!(!memories.is_empty(), "diagnosis needs at least one memory");
+        let configs: Vec<MemConfig> = memories.iter().map(|(_, m)| m.config()).collect();
+        let population = self.plan_population(&configs);
+        let worker_results: Vec<Result<SegmentOutcome, MemError>> =
+            plan.with_domain(CostDomain::Diagnosis).try_run_segments(
+                token,
+                memories,
+                |index, _| population.member_cost(index),
+                |base, segment| population.run_segment(base, segment),
+            )?;
         let mut outcomes = Vec::with_capacity(worker_results.len());
         for result in worker_results {
             outcomes.push(result?);
@@ -476,6 +563,10 @@ impl PopulationPlan {
         base: usize,
         memories: &mut [(MemoryId, M)],
     ) -> Result<SegmentOutcome, MemError> {
+        // Chaos injection site: unqualified specs fire at every
+        // segment; the fleet runner layers its own job-qualified hits
+        // on top of this one.
+        failpoint::trip("diag.segment", &[("base", base as u64)]);
         let configs = &self.configs[base..base + memories.len()];
         if self.bit_parallel {
             self.run_segment_bitparallel(memories, configs)

@@ -54,7 +54,7 @@ pub mod result;
 pub mod scheme;
 
 pub use components::{AddressTrigger, ComparatorArray, DataBackgroundGenerator, MemorySizeTable, StepIndex};
-pub use fast::{DrfMode, FastScheme, PopulationPlan, SegmentOutcome};
+pub use fast::{DiagError, DrfMode, FastScheme, PopulationPlan, SegmentOutcome};
 pub use huang::HuangScheme;
 pub use kernel::{DiagnosisKernel, KERNEL_ENV};
 pub use log::{DiagnosisLog, DiagnosisRecord, FaultSite};

@@ -42,14 +42,29 @@
 //! the shard *boundaries*, never the results. The fleet determinism
 //! suite asserts both properties across strategies, worker counts and
 //! kernels.
+//!
+//! # Fault domains
+//!
+//! Each job is its own fault domain. [`FleetRunner::run`] returns one
+//! [`JobOutcome`] per job: a job whose plan, build or diagnosis
+//! panicked, errored or hit an armed failpoint fails with a structured
+//! [`FleetError`] naming the [`FleetPhase`], while every *other* job's
+//! outcome stays byte-identical to its solo run at any strategy ×
+//! worker count × kernel — which the chaos suite asserts by poisoning
+//! one job at a time. Only fleet-global conditions (a cancelled
+//! [`RunToken`], an expired deadline) fail the whole call. The
+//! instrumented failpoint sites are `soc.build` (qualified by `job` and
+//! `member`) and `diag.segment` (qualified by `job`).
 
 use crate::soc::Soc;
 use crate::SocBuilder;
 use bisd::{DiagnosisResult, FastScheme, MemoryUnderDiagnosis, PopulationPlan, SegmentOutcome};
 use fault_models::DefectProfile;
-use march::shard::{CostCalibration, CostDomain};
+use march::shard::{failpoint, panic_payload, CostCalibration, CostDomain, ExecError, ItemFault, RunToken};
 use march::ShardPlan;
 use sram_model::{MemError, MemoryId, Sram};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// One independent diagnosis job: a population to build and the scheme
 /// to diagnose it with.
@@ -167,6 +182,119 @@ impl FleetOutcome {
     }
 }
 
+/// The pipeline phase a per-job failure occurred in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetPhase {
+    /// Controller planning ([`FastScheme::plan_population`]).
+    Plan,
+    /// Population construction (the batched build).
+    Build,
+    /// Schedule replay (the batched diagnosis).
+    Diagnose,
+}
+
+impl fmt::Display for FleetPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetPhase::Plan => write!(f, "plan"),
+            FleetPhase::Build => write!(f, "build"),
+            FleetPhase::Diagnose => write!(f, "diagnose"),
+        }
+    }
+}
+
+/// Why a job (or, for [`FleetError::Cancelled`] / [`FleetError::Deadline`],
+/// the whole fleet run) failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// The memory model rejected the job's configuration or an
+    /// operation on one of its members.
+    Memory(MemError),
+    /// The job's work panicked in the named phase; the panic was
+    /// contained to the job and the payload is carried as a string.
+    Panicked {
+        /// Phase the panic occurred in.
+        phase: FleetPhase,
+        /// The panic payload rendered as a string.
+        payload: String,
+    },
+    /// An armed failpoint injected an error into the job.
+    Injected {
+        /// Phase the injection occurred in.
+        phase: FleetPhase,
+        /// The failpoint site that fired.
+        site: String,
+    },
+    /// The runner's [`RunToken`] was cancelled — a fleet-global
+    /// failure, reported through [`FleetRunner::run`]'s outer `Result`.
+    Cancelled,
+    /// The runner's [`RunToken`] deadline passed — fleet-global, like
+    /// [`FleetError::Cancelled`].
+    Deadline,
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::Memory(error) => write!(f, "memory model error: {error}"),
+            FleetError::Panicked { phase, payload } => {
+                write!(f, "job panicked during {phase}: {payload}")
+            }
+            FleetError::Injected { phase, site } => {
+                write!(f, "injected failure during {phase} at {site}")
+            }
+            FleetError::Cancelled => write!(f, "fleet run cancelled"),
+            FleetError::Deadline => write!(f, "fleet run deadline exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+impl From<MemError> for FleetError {
+    fn from(error: MemError) -> Self {
+        FleetError::Memory(error)
+    }
+}
+
+impl FleetError {
+    /// Maps a run-level executor failure into the fleet taxonomy. A
+    /// worker panic at this level means the panic escaped the per-job
+    /// containment (e.g. a cost closure panicked) — still contained,
+    /// reported as a fleet-global [`FleetError::Panicked`].
+    fn from_exec(phase: FleetPhase, error: ExecError) -> FleetError {
+        match error {
+            ExecError::Cancelled => FleetError::Cancelled,
+            ExecError::Deadline => FleetError::Deadline,
+            ExecError::WorkerPanic { payload, .. } => FleetError::Panicked { phase, payload },
+            // ExecError is non_exhaustive; render any future variant.
+            other => FleetError::Panicked {
+                phase,
+                payload: other.to_string(),
+            },
+        }
+    }
+}
+
+/// One job's verdict from [`FleetRunner::run`]: the finished
+/// [`FleetOutcome`], or the structured reason this job (alone) failed.
+pub type JobOutcome = Result<FleetOutcome, FleetError>;
+
+/// A build-phase item failure, before it is demultiplexed onto its job.
+enum BuildFault {
+    Memory(MemError),
+    Injected(String),
+}
+
+/// A diagnose-phase chunk failure, before it is demultiplexed onto its
+/// job.
+enum ChunkFault {
+    Memory(MemError),
+    Injected(String),
+    Panicked(String),
+}
+
 /// One flattened diagnosis work item: a borrowed memory tagged with its
 /// owning job and its member index within that job.
 #[derive(Debug)]
@@ -179,18 +307,34 @@ struct MemberSlot<'a> {
 
 /// Batched runner for N independent jobs under one [`ShardPlan`].
 ///
-/// See the [module documentation](self) for the three-phase pipeline
-/// and the determinism argument.
+/// See the [module documentation](self) for the three-phase pipeline,
+/// the determinism argument and the per-job fault domains. Cloning the
+/// runner shares its [`RunToken`]: cancelling one clone's token cancels
+/// them all.
 #[derive(Debug, Clone, Default)]
 pub struct FleetRunner {
     shard: ShardPlan,
+    token: RunToken,
 }
 
 impl FleetRunner {
     /// A runner executing under the given shard plan (strategy and
-    /// worker count apply to the *combined* work list of all jobs).
+    /// worker count apply to the *combined* work list of all jobs),
+    /// with a fresh never-cancelling [`RunToken`].
     pub fn new(shard: ShardPlan) -> Self {
-        FleetRunner { shard }
+        FleetRunner {
+            shard,
+            token: RunToken::new(),
+        }
+    }
+
+    /// Replaces the runner's cancellation token: [`FleetRunner::run`]
+    /// checks it at item/segment boundaries and fails fleet-globally
+    /// with [`FleetError::Cancelled`] / [`FleetError::Deadline`] — with
+    /// clean teardown, so the jobs can be re-run with a fresh token.
+    pub fn with_token(mut self, token: RunToken) -> Self {
+        self.token = token;
+        self
     }
 
     /// The shard plan the runner executes under.
@@ -198,8 +342,23 @@ impl FleetRunner {
         &self.shard
     }
 
+    /// The runner's cancellation token.
+    pub fn token(&self) -> &RunToken {
+        &self.token
+    }
+
     /// Builds, plans and diagnoses every job in one batched pipeline
-    /// and returns one [`FleetOutcome`] per job, in job order.
+    /// and returns one [`JobOutcome`] per job, in job order — each job
+    /// its own fault domain.
+    ///
+    /// A job whose plan, build or diagnosis fails (memory-model error,
+    /// contained panic, armed failpoint) comes back as
+    /// `Err(`[`FleetError`]`)` in its slot and is excluded from later
+    /// phases; every **other** job's outcome is byte-identical to its
+    /// solo run at any strategy, worker count and kernel. The outer
+    /// `Result` fails only on fleet-global conditions: the runner's
+    /// [`RunToken`] was cancelled or timed out, or a panic escaped the
+    /// per-job containment.
     ///
     /// Degenerate inputs are well-defined, not special-cased
     /// downstream: **zero jobs** returns an empty vector without
@@ -210,21 +369,225 @@ impl FleetRunner {
     ///
     /// # Errors
     ///
-    /// Returns an error if any job's builder holds no memories, or on
-    /// injection / memory-model failures (reported for the first
-    /// failing member in global item order).
-    pub fn run(&self, jobs: &[FleetJob]) -> Result<Vec<FleetOutcome>, MemError> {
+    /// [`FleetError::Cancelled`] / [`FleetError::Deadline`] when the
+    /// token stopped the run; [`FleetError::Panicked`] if a panic
+    /// escaped the per-job containment (a bug, not a job fault).
+    pub fn run(&self, jobs: &[FleetJob]) -> Result<Vec<JobOutcome>, FleetError> {
         if jobs.is_empty() {
             return Ok(Vec::new());
         }
-        let plan = self.plan(jobs)?;
-        let mut socs = self.build(&plan)?;
-        let results = self.diagnose(&plan, &mut socs)?;
-        Ok(socs
+        let mut job_errors: Vec<Option<FleetError>> = vec![None; jobs.len()];
+
+        // Phase 1 — plan, each job's controller work under its own
+        // containment. An empty population is the per-job equivalent of
+        // the solo builder's InvalidConfig rejection.
+        let mut populations: Vec<Option<PopulationPlan>> = Vec::with_capacity(jobs.len());
+        for (job, fleet_job) in jobs.iter().enumerate() {
+            self.token
+                .check()
+                .map_err(|error| FleetError::from_exec(FleetPhase::Plan, error))?;
+            let configs = fleet_job.builder.member_configs();
+            if configs.is_empty() {
+                job_errors[job] = Some(FleetError::Memory(MemError::InvalidConfig { words: 0, width: 0 }));
+                populations.push(None);
+                continue;
+            }
+            match catch_unwind(AssertUnwindSafe(|| fleet_job.scheme.plan_population(configs))) {
+                Ok(population) => populations.push(Some(population)),
+                Err(payload) => {
+                    job_errors[job] = Some(FleetError::Panicked {
+                        phase: FleetPhase::Plan,
+                        payload: panic_payload(payload.as_ref()),
+                    });
+                    populations.push(None);
+                }
+            }
+        }
+
+        // Phase 2 — build every healthy job's members in one isolated
+        // executor run: a panicking or erroring member fails only its
+        // own job.
+        let profiles: Vec<DefectProfile> = jobs
+            .iter()
+            .map(|fleet_job| fleet_job.builder.defect_profile())
+            .collect();
+        let members: Vec<(usize, usize)> = jobs
+            .iter()
+            .enumerate()
+            .filter(|&(job, _)| job_errors[job].is_none())
+            .flat_map(|(job, fleet_job)| {
+                (0..fleet_job.builder.member_configs().len()).map(move |member| (job, member))
+            })
+            .collect();
+        let calibration = CostCalibration::current();
+        let built = self
+            .shard
+            .with_domain(CostDomain::SocBuild)
+            .map_slots_isolated(
+                &self.token,
+                &members,
+                |_, &(job, member)| {
+                    let cells = jobs[job].builder.member_configs()[member].cells();
+                    calibration.cost(CostDomain::SocBuild, cells)
+                },
+                || (),
+                |_, _, &(job, member)| {
+                    failpoint::fire("soc.build", &[("job", job as u64), ("member", member as u64)])
+                        .map_err(|injected| BuildFault::Injected(injected.site))?;
+                    let builder = jobs[job].builder();
+                    builder
+                        .build_member(&profiles[job], member, builder.member_configs()[member])
+                        .map_err(BuildFault::Memory)
+                },
+            )
+            .map_err(|error| FleetError::from_exec(FleetPhase::Build, error))?;
+        let mut built_members: Vec<Vec<MemoryUnderDiagnosis>> = jobs.iter().map(|_| Vec::new()).collect();
+        for (&(job, _), slot) in members.iter().zip(built) {
+            if job_errors[job].is_some() {
+                // The job already failed on an earlier member (first
+                // fault in item order wins); drop later results.
+                continue;
+            }
+            match slot {
+                Ok(member) => built_members[job].push(member),
+                Err(ItemFault::Error(BuildFault::Injected(site))) => {
+                    job_errors[job] = Some(FleetError::Injected {
+                        phase: FleetPhase::Build,
+                        site,
+                    });
+                }
+                Err(ItemFault::Error(BuildFault::Memory(error))) => {
+                    job_errors[job] = Some(FleetError::Memory(error));
+                }
+                Err(ItemFault::Panic { payload }) => {
+                    job_errors[job] = Some(FleetError::Panicked {
+                        phase: FleetPhase::Build,
+                        payload,
+                    });
+                }
+            }
+        }
+        let mut socs: Vec<Option<Soc>> = built_members
             .into_iter()
-            .zip(results)
-            .map(|(soc, result)| FleetOutcome { soc, result })
+            .zip(&job_errors)
+            .map(|(members, error)| {
+                (error.is_none() && !members.is_empty()).then(|| Soc::from_memories(members))
+            })
+            .collect();
+
+        // Phase 3 — diagnose every surviving job's members in one
+        // executor run. Job-contiguous chunks are each run under their
+        // own containment, so a chunk never spans a fault domain.
+        let mut slots: Vec<MemberSlot<'_>> = Vec::new();
+        for (job, soc) in socs.iter_mut().enumerate() {
+            let Some(soc) = soc.as_mut() else { continue };
+            for (member, memory) in soc.memories_mut().iter_mut().enumerate() {
+                slots.push(MemberSlot {
+                    job,
+                    member,
+                    id: memory.id,
+                    sram: &mut memory.sram,
+                });
+            }
+        }
+        let groups: Vec<Vec<(usize, Result<SegmentOutcome, ChunkFault>)>> = self
+            .shard
+            .with_domain(CostDomain::Diagnosis)
+            .try_run_segments(
+                &self.token,
+                &mut slots,
+                |_, slot| {
+                    populations[slot.job]
+                        .as_ref()
+                        .expect("a job with diagnosis slots has a plan")
+                        .member_cost(slot.member)
+                },
+                |_, segment| {
+                    let mut outcomes = Vec::new();
+                    let mut rest = segment;
+                    while !rest.is_empty() {
+                        let job = rest[0].job;
+                        let len = rest.iter().take_while(|slot| slot.job == job).count();
+                        let (chunk, tail) = rest.split_at_mut(len);
+                        let base = chunk[0].member;
+                        let caught = catch_unwind(AssertUnwindSafe(|| {
+                            failpoint::fire("diag.segment", &[("job", job as u64)])
+                                .map_err(|injected| ChunkFault::Injected(injected.site))?;
+                            let mut pairs: Vec<(MemoryId, &mut Sram)> =
+                                chunk.iter_mut().map(|slot| (slot.id, &mut *slot.sram)).collect();
+                            populations[job]
+                                .as_ref()
+                                .expect("a job with diagnosis slots has a plan")
+                                .run_segment(base, &mut pairs)
+                                .map_err(ChunkFault::Memory)
+                        }));
+                        let outcome = match caught {
+                            Ok(result) => result,
+                            Err(payload) => Err(ChunkFault::Panicked(panic_payload(payload.as_ref()))),
+                        };
+                        outcomes.push((job, outcome));
+                        rest = tail;
+                    }
+                    outcomes
+                },
+            )
+            .map_err(|error| FleetError::from_exec(FleetPhase::Diagnose, error))?;
+        let mut per_job: Vec<Vec<SegmentOutcome>> = jobs.iter().map(|_| Vec::new()).collect();
+        for group in groups {
+            for (job, outcome) in group {
+                if job_errors[job].is_some() {
+                    continue;
+                }
+                match outcome {
+                    Ok(segment) => per_job[job].push(segment),
+                    Err(ChunkFault::Memory(error)) => {
+                        job_errors[job] = Some(FleetError::Memory(error));
+                    }
+                    Err(ChunkFault::Injected(site)) => {
+                        job_errors[job] = Some(FleetError::Injected {
+                            phase: FleetPhase::Diagnose,
+                            site,
+                        });
+                    }
+                    Err(ChunkFault::Panicked(payload)) => {
+                        job_errors[job] = Some(FleetError::Panicked {
+                            phase: FleetPhase::Diagnose,
+                            payload,
+                        });
+                    }
+                }
+            }
+        }
+
+        Ok(job_errors
+            .into_iter()
+            .zip(per_job)
+            .zip(socs)
+            .enumerate()
+            .map(|(job, ((error, outcomes), soc))| match error {
+                Some(error) => Err(error),
+                None => {
+                    let soc = soc.expect("a healthy job has a built population");
+                    let result = populations[job]
+                        .as_ref()
+                        .expect("a healthy job has a plan")
+                        .merge(outcomes);
+                    Ok(FleetOutcome { soc, result })
+                }
+            })
             .collect())
+    }
+
+    /// All-or-nothing convenience over [`FleetRunner::run`]: returns
+    /// every job's [`FleetOutcome`] when every job succeeded, or the
+    /// first failing job's [`FleetError`] (in job order) otherwise.
+    ///
+    /// # Errors
+    ///
+    /// The first per-job [`FleetError`], or a fleet-global
+    /// [`FleetError::Cancelled`] / [`FleetError::Deadline`].
+    pub fn run_all(&self, jobs: &[FleetJob]) -> Result<Vec<FleetOutcome>, FleetError> {
+        self.run(jobs)?.into_iter().collect()
     }
 
     /// Plans every job (phase 2 of the pipeline) without building or
@@ -432,6 +795,7 @@ mod tests {
     fn zero_jobs_is_an_empty_fleet() {
         let runner = FleetRunner::new(ShardPlan::with_threads(8));
         assert!(runner.run(&[]).unwrap().is_empty());
+        assert!(runner.run_all(&[]).unwrap().is_empty());
         let plan = runner.plan(&[]).unwrap();
         assert_eq!(plan.job_count(), 0);
         assert_eq!(plan.member_count(), 0);
@@ -443,7 +807,55 @@ mod tests {
     fn empty_job_is_rejected_like_a_solo_build() {
         let job = FleetJob::new(Soc::builder(), FastScheme::new(10.0));
         let runner = FleetRunner::default();
-        assert!(runner.run(std::slice::from_ref(&job)).is_err());
+        assert!(runner.run_all(std::slice::from_ref(&job)).is_err());
+        // The fault stays in the empty job's own domain.
+        let outcomes = runner.run(std::slice::from_ref(&job)).unwrap();
+        assert!(matches!(
+            outcomes[0],
+            Err(FleetError::Memory(MemError::InvalidConfig { .. }))
+        ));
+    }
+
+    #[test]
+    fn empty_job_fails_alone_among_healthy_neighbours() {
+        let mut jobs = mixed_jobs();
+        jobs.insert(1, FleetJob::new(Soc::builder(), FastScheme::new(10.0)));
+        let runner = FleetRunner::new(ShardPlan::with_threads(7));
+        let outcomes = runner.run(&jobs).unwrap();
+        assert!(matches!(
+            outcomes[1],
+            Err(FleetError::Memory(MemError::InvalidConfig { .. }))
+        ));
+        // The healthy jobs around it are untouched by the failure.
+        let healthy: Vec<&FleetJob> = jobs
+            .iter()
+            .enumerate()
+            .filter(|&(index, _)| index != 1)
+            .map(|(_, job)| job)
+            .collect();
+        let baseline: Vec<FleetJob> = healthy.iter().map(|&job| job.clone()).collect();
+        let baseline = serial_baseline(&baseline);
+        for (outcome, (_, result)) in outcomes
+            .iter()
+            .enumerate()
+            .filter(|&(index, _)| index != 1)
+            .map(|(_, outcome)| outcome)
+            .zip(&baseline)
+        {
+            assert_eq!(outcome.as_ref().unwrap().result(), result);
+        }
+    }
+
+    #[test]
+    fn cancelled_runner_fails_fleet_globally() {
+        let jobs = mixed_jobs();
+        let token = RunToken::new();
+        token.cancel();
+        let runner = FleetRunner::new(ShardPlan::with_threads(7)).with_token(token);
+        assert_eq!(runner.run(&jobs).unwrap_err(), FleetError::Cancelled);
+        // Clean teardown: the same jobs re-run fine under a fresh token.
+        let fresh = FleetRunner::new(ShardPlan::with_threads(7));
+        assert_eq!(fresh.run_all(&jobs).unwrap().len(), jobs.len());
     }
 
     #[test]
@@ -458,7 +870,7 @@ mod tests {
         )];
         let baseline = serial_baseline(&jobs);
         let runner = FleetRunner::new(ShardPlan::with_threads(32));
-        let outcomes = runner.run(&jobs).unwrap();
+        let outcomes = runner.run_all(&jobs).unwrap();
         assert_eq!(outcomes.len(), 1);
         assert_eq!(outcomes[0].result(), &baseline[0].1);
         assert_eq!(
@@ -473,7 +885,7 @@ mod tests {
         let baseline = serial_baseline(&jobs);
         for strategy in ShardStrategy::all() {
             let runner = FleetRunner::new(ShardPlan::with_threads(7).with_strategy(strategy));
-            let outcomes = runner.run(&jobs).unwrap();
+            let outcomes = runner.run_all(&jobs).unwrap();
             assert_eq!(outcomes.len(), jobs.len());
             for (outcome, (soc, result)) in outcomes.iter().zip(&baseline) {
                 assert_eq!(outcome.result(), result, "{strategy:?}");

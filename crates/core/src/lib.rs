@@ -60,7 +60,7 @@ pub use analytic::{AnalyticModel, TimeBreakdown};
 pub use area::{AreaModel, AreaReport};
 pub use case_study::{CaseStudy, CaseStudyReport};
 pub use coverage::scheme_coverage;
-pub use fleet::{FleetJob, FleetOutcome, FleetPlan, FleetRunner};
+pub use fleet::{FleetError, FleetJob, FleetOutcome, FleetPhase, FleetPlan, FleetRunner, JobOutcome};
 pub use score::DiagnosisScore;
 pub use soc::{Soc, SocBuilder};
 pub use sweeps::{defect_rate_sweep, size_sweep, DefectRatePoint, SizePoint};
@@ -72,5 +72,6 @@ pub use bisd::{
     GoldenStore, HuangScheme, MemoryUnderDiagnosis,
 };
 pub use fault_models::{DefectProfile, FaultClass, FaultInjector, FaultList, FaultUniverse, MemoryFault};
+pub use march::shard::RunToken;
 pub use march::{algorithms, DataBackground, MarchSchedule, MarchTest, ShardPlan, ShardStrategy};
 pub use sram_model::{Address, DataWord, MemConfig, MemoryId, Sram};

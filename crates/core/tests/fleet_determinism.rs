@@ -37,7 +37,7 @@ fn serial_baseline(jobs: &[FleetJob]) -> Vec<(Soc, DiagnosisResult)> {
 /// built populations bit-identical (ids, ground truth, installed cell
 /// faults) and diagnosis results byte-identical, per job.
 fn assert_fleet_matches(jobs: &[FleetJob], baseline: &[(Soc, DiagnosisResult)], plan: ShardPlan) {
-    let outcomes = FleetRunner::new(plan).run(jobs).expect("fleet runs");
+    let outcomes = FleetRunner::new(plan).run_all(jobs).expect("fleet runs");
     assert_eq!(outcomes.len(), baseline.len(), "{plan}: job count");
     for (job, (outcome, (soc, result))) in outcomes.iter().zip(baseline).enumerate() {
         assert_eq!(outcome.result(), result, "{plan}: diagnosis result of job {job}");

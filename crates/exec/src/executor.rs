@@ -15,17 +15,105 @@
 //!   count: contiguous chunks concatenate in chunk order; stolen blocks
 //!   merge in block-index order through per-block slots, regardless of
 //!   which thread claimed which block.
+//!
+//! # Fault containment
+//!
+//! Every entry point runs on one fallible core: each worker's work is
+//! wrapped in `catch_unwind`, **all** workers are joined even when some
+//! panicked (two shards panicking simultaneously can no longer
+//! escalate into a process-killing double panic), and the caller's
+//! [`RunToken`] is checked at item, segment and block boundaries. The
+//! `try_*` variants surface failures as a structured [`ExecError`]; the
+//! infallible classics keep their contract by re-raising the original
+//! panic payload *after* teardown completed. When several workers fail
+//! in one run the reported failure is deterministic: a panic outranks a
+//! cancellation, and among panics the lowest-indexed failed shard (or
+//! stolen block) wins — every lower-indexed unit either completed or
+//! was itself recorded first.
+//!
+//! [`ShardPlan::map_slots_isolated`] narrows the fault domain to a
+//! single item: a panicking or erroring item fails only its own slot
+//! ([`ItemFault`]), the worker's scratch state is rebuilt, and every
+//! surviving slot stays byte-identical to the sequential map.
 
 use crate::calibrate::{self, CalibrationMode, CostDomain};
+use crate::error::{panic_payload, ExecError, ItemFault};
 use crate::plan::{block_ranges, cost_ranges, even_ranges, ShardPlan, ShardStrategy};
+use crate::token::RunToken;
+use std::any::Any;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, PoisonError};
 
 /// A claimable mutable block under [`ShardStrategy::Steal`]: the base
 /// item index of the block plus the block's slice, taken exactly once
 /// by whichever worker claims the block's index.
 type ClaimableBlock<'a, T> = Mutex<Option<(usize, &'a mut [T])>>;
+
+/// Internal failure currency of the fallible core: panics keep their
+/// original boxed payload so the infallible wrappers can re-raise it
+/// unchanged (`resume_unwind`), while the `try_*` wrappers render it
+/// into the string-carrying [`ExecError`].
+enum RawFailure {
+    Panic {
+        shard: usize,
+        payload: Box<dyn Any + Send>,
+    },
+    Cancelled,
+    Deadline,
+}
+
+impl RawFailure {
+    fn from_exec(error: ExecError) -> RawFailure {
+        match error {
+            ExecError::Cancelled => RawFailure::Cancelled,
+            ExecError::Deadline => RawFailure::Deadline,
+            ExecError::WorkerPanic { shard, payload } => RawFailure::Panic {
+                shard,
+                payload: Box::new(payload),
+            },
+        }
+    }
+
+    fn into_exec(self) -> ExecError {
+        match self {
+            RawFailure::Panic { shard, payload } => ExecError::WorkerPanic {
+                shard,
+                payload: panic_payload(payload.as_ref()),
+            },
+            RawFailure::Cancelled => ExecError::Cancelled,
+            RawFailure::Deadline => ExecError::Deadline,
+        }
+    }
+
+    /// Deterministic severity order: panics first (by ascending shard),
+    /// then cancellation, then deadline expiry.
+    fn rank(&self) -> (u8, usize) {
+        match self {
+            RawFailure::Panic { shard, .. } => (0, *shard),
+            RawFailure::Cancelled => (1, 0),
+            RawFailure::Deadline => (2, 0),
+        }
+    }
+}
+
+/// Keeps the highest-severity (lowest-rank) failure seen so far.
+fn keep_worst(slot: &mut Option<RawFailure>, candidate: RawFailure) {
+    match slot {
+        None => *slot = Some(candidate),
+        Some(current) if candidate.rank() < current.rank() => *slot = Some(candidate),
+        Some(_) => {}
+    }
+}
+
+/// [`keep_worst`] behind a mutex, for the stealing workers' shared
+/// failure slot. Work never runs while this lock is held, so a panic
+/// cannot poison it (recovered defensively anyway).
+fn record_failure(shared: &Mutex<Option<RawFailure>>, candidate: RawFailure) {
+    let mut slot = shared.lock().unwrap_or_else(PoisonError::into_inner);
+    keep_worst(&mut slot, candidate);
+}
 
 /// Observes shard timings for the online cost calibrator.
 ///
@@ -139,6 +227,14 @@ impl ShardPlan {
     /// whose reuse across items has no observable effect); `work` maps
     /// `(state, index, item)` to the item's result. Returns the results
     /// in exact item order for every strategy and worker count.
+    ///
+    /// # Panics
+    ///
+    /// If any worker's work panics, the panic is contained, **all**
+    /// workers are joined (no double-panic abort), and the original
+    /// payload of the lowest-indexed failed shard is re-raised on the
+    /// calling thread. Use [`ShardPlan::try_map_slots`] to receive the
+    /// failure as a value instead.
     pub fn map_slots<T, S, R>(
         &self,
         items: &[T],
@@ -150,94 +246,245 @@ impl ShardPlan {
         T: Sync,
         R: Send,
     {
+        match self.map_slots_raw(&RunToken::new(), items, cost, init, work) {
+            Ok(results) => results,
+            Err(RawFailure::Panic { payload, .. }) => resume_unwind(payload),
+            Err(_) => unreachable!("a fresh never-cancelled token cannot cancel"),
+        }
+    }
+
+    /// Fallible [`ShardPlan::map_slots`]: worker panics are contained
+    /// and surfaced as [`ExecError::WorkerPanic`], and `token` is
+    /// checked at every item boundary so cancellation and deadlines
+    /// stop the run with a deterministic error and clean teardown (all
+    /// workers joined, no poisoned state).
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::WorkerPanic`] when any worker's work panicked;
+    /// [`ExecError::Cancelled`] / [`ExecError::Deadline`] when the
+    /// token stopped the run first.
+    pub fn try_map_slots<T, S, R>(
+        &self,
+        token: &RunToken,
+        items: &[T],
+        cost: impl Fn(usize, &T) -> u64 + Sync,
+        init: impl Fn() -> S + Sync,
+        work: impl Fn(&mut S, usize, &T) -> R + Sync,
+    ) -> Result<Vec<R>, ExecError>
+    where
+        T: Sync,
+        R: Send,
+    {
+        self.map_slots_raw(token, items, cost, init, work)
+            .map_err(RawFailure::into_exec)
+    }
+
+    /// Per-item fault isolation: like [`ShardPlan::try_map_slots`], but
+    /// a panicking or erroring item fails only its own slot.
+    ///
+    /// `work` returns `Result<R, E>`; each item runs under its own
+    /// `catch_unwind`, so a slot comes back as `Ok(R)`, or
+    /// `Err(ItemFault::Error(E))`, or `Err(ItemFault::Panic { .. })`.
+    /// After a caught item panic the worker's scratch state is rebuilt
+    /// with `init` before the next item (an unwound closure may leave
+    /// it inconsistent), so every *surviving* slot is byte-identical to
+    /// the sequential map for every strategy, worker count and block
+    /// size — the chaos proptest asserts exactly this.
+    ///
+    /// # Errors
+    ///
+    /// Only run-level failures: [`ExecError::Cancelled`] /
+    /// [`ExecError::Deadline`] from the token. Item failures never fail
+    /// the run.
+    pub fn map_slots_isolated<T, S, R, E>(
+        &self,
+        token: &RunToken,
+        items: &[T],
+        cost: impl Fn(usize, &T) -> u64 + Sync,
+        init: impl Fn() -> S + Sync,
+        work: impl Fn(&mut S, usize, &T) -> Result<R, E> + Sync,
+    ) -> Result<Vec<Result<R, ItemFault<E>>>, ExecError>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+    {
+        let init = &init;
+        let work = &work;
+        self.try_map_slots(
+            token,
+            items,
+            cost,
+            init,
+            move |state, index, item| match catch_unwind(AssertUnwindSafe(|| work(state, index, item))) {
+                Ok(Ok(value)) => Ok(value),
+                Ok(Err(error)) => Err(ItemFault::Error(error)),
+                Err(payload) => {
+                    *state = init();
+                    Err(ItemFault::Panic {
+                        payload: panic_payload(payload.as_ref()),
+                    })
+                }
+            },
+        )
+    }
+
+    /// The fallible core behind every `map_slots` flavour.
+    fn map_slots_raw<T, S, R>(
+        &self,
+        token: &RunToken,
+        items: &[T],
+        cost: impl Fn(usize, &T) -> u64 + Sync,
+        init: impl Fn() -> S + Sync,
+        work: impl Fn(&mut S, usize, &T) -> R + Sync,
+    ) -> Result<Vec<R>, RawFailure>
+    where
+        T: Sync,
+        R: Send,
+    {
         if items.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let sampler = ShardSampler::for_plan(self);
-        let run_inline = |items: &[T]| {
-            let units = sampler.units_over(0..items.len(), |index| cost(index, &items[index]));
-            sampler.observe(items.len(), units, || {
-                let mut state = init();
-                items
-                    .iter()
-                    .enumerate()
-                    .map(|(index, item)| work(&mut state, index, item))
-                    .collect::<Vec<R>>()
-            })
+        // One shard's (or block's) contained run: panics are caught and
+        // tagged with the unit index; the token is checked per item.
+        let run_range = |shard: usize, range: Range<usize>| -> Result<Vec<R>, RawFailure> {
+            let caught = catch_unwind(AssertUnwindSafe(|| -> Result<Vec<R>, RawFailure> {
+                let units = sampler.units_over(range.clone(), |index| cost(index, &items[index]));
+                sampler.observe(range.len(), units, || {
+                    let mut state = init();
+                    let mut results = Vec::with_capacity(range.len());
+                    for index in range.clone() {
+                        token.check().map_err(RawFailure::from_exec)?;
+                        results.push(work(&mut state, index, &items[index]));
+                    }
+                    Ok(results)
+                })
+            }));
+            match caught {
+                Ok(result) => result,
+                Err(payload) => Err(RawFailure::Panic { shard, payload }),
+            }
         };
         if self.shard_count(items.len()) <= 1 {
-            return run_inline(items);
+            return run_range(0, 0..items.len());
         }
         match self.strategy() {
             ShardStrategy::Even | ShardStrategy::Cost => {
                 let ranges = self.contiguous_ranges(items.len(), |index| cost(index, &items[index]));
                 if ranges.len() <= 1 {
-                    return run_inline(items);
+                    return run_range(0, 0..items.len());
                 }
                 std::thread::scope(|scope| {
                     let workers: Vec<_> = ranges
                         .into_iter()
-                        .map(|range| {
-                            let (init, work, cost) = (&init, &work, &cost);
-                            scope.spawn(move || {
-                                let units =
-                                    sampler.units_over(range.clone(), |index| cost(index, &items[index]));
-                                sampler.observe(range.len(), units, || {
-                                    let mut state = init();
-                                    items[range.clone()]
-                                        .iter()
-                                        .zip(range.clone())
-                                        .map(|(item, index)| work(&mut state, index, item))
-                                        .collect::<Vec<R>>()
-                                })
-                            })
+                        .enumerate()
+                        .map(|(shard, range)| {
+                            let run_range = &run_range;
+                            scope.spawn(move || run_range(shard, range))
                         })
                         .collect();
+                    // Join ALL workers before reporting anything: a
+                    // second simultaneous panic lands here as a value,
+                    // not as a double-panic abort.
                     let mut merged = Vec::with_capacity(items.len());
-                    for worker in workers {
-                        merged.extend(worker.join().expect("shard worker panicked"));
+                    let mut failure: Option<RawFailure> = None;
+                    for (shard, worker) in workers.into_iter().enumerate() {
+                        match worker.join() {
+                            Ok(Ok(results)) => merged.extend(results),
+                            Ok(Err(raw)) => keep_worst(&mut failure, raw),
+                            // The worker closure is fully caught; a join
+                            // error would mean the spawn machinery itself
+                            // panicked — still contained, still reported.
+                            Err(payload) => keep_worst(&mut failure, RawFailure::Panic { shard, payload }),
+                        }
                     }
-                    merged
+                    match failure {
+                        None => Ok(merged),
+                        Some(raw) => Err(raw),
+                    }
                 })
             }
             ShardStrategy::Steal => {
                 let blocks = block_ranges(items.len(), self.block_size());
                 let workers = self.threads().min(blocks.len());
                 if workers <= 1 {
-                    return run_inline(items);
+                    let mut merged = Vec::with_capacity(items.len());
+                    for (index, block) in blocks.into_iter().enumerate() {
+                        merged.extend(run_range(index, block)?);
+                    }
+                    return Ok(merged);
                 }
                 let slots: Vec<Mutex<Option<Vec<R>>>> = blocks.iter().map(|_| Mutex::new(None)).collect();
                 let next = AtomicUsize::new(0);
+                let abort = AtomicBool::new(false);
+                let failure: Mutex<Option<RawFailure>> = Mutex::new(None);
                 std::thread::scope(|scope| {
                     for _ in 0..workers {
                         scope.spawn(|| {
-                            let mut state = init();
+                            // Scratch state is lazily built inside the
+                            // catch so a panicking `init` is contained
+                            // too, and rebuilt after nothing: a failed
+                            // block aborts the whole run, so a possibly
+                            // corrupted state is never reused.
+                            let mut state: Option<S> = None;
                             loop {
+                                if abort.load(Ordering::Relaxed) {
+                                    break;
+                                }
                                 let claimed = next.fetch_add(1, Ordering::Relaxed);
                                 let Some(block) = blocks.get(claimed) else { break };
-                                let units =
-                                    sampler.units_over(block.clone(), |index| cost(index, &items[index]));
-                                let results: Vec<R> = sampler.observe(block.len(), units, || {
-                                    items[block.clone()]
-                                        .iter()
-                                        .zip(block.clone())
-                                        .map(|(item, index)| work(&mut state, index, item))
-                                        .collect()
-                                });
-                                *slots[claimed].lock().expect("block slot poisoned") = Some(results);
+                                if let Err(error) = token.check() {
+                                    record_failure(&failure, RawFailure::from_exec(error));
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                                let caught = catch_unwind(AssertUnwindSafe(|| {
+                                    let state = state.get_or_insert_with(&init);
+                                    let units =
+                                        sampler.units_over(block.clone(), |index| cost(index, &items[index]));
+                                    sampler.observe(block.len(), units, || {
+                                        items[block.clone()]
+                                            .iter()
+                                            .zip(block.clone())
+                                            .map(|(item, index)| work(state, index, item))
+                                            .collect::<Vec<R>>()
+                                    })
+                                }));
+                                match caught {
+                                    Ok(results) => {
+                                        *slots[claimed].lock().unwrap_or_else(PoisonError::into_inner) =
+                                            Some(results);
+                                    }
+                                    Err(payload) => {
+                                        record_failure(
+                                            &failure,
+                                            RawFailure::Panic {
+                                                shard: claimed,
+                                                payload,
+                                            },
+                                        );
+                                        abort.store(true, Ordering::Relaxed);
+                                        break;
+                                    }
+                                }
                             }
                         });
                     }
                 });
+                if let Some(raw) = failure.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                    return Err(raw);
+                }
                 let mut merged = Vec::with_capacity(items.len());
                 for slot in slots {
                     let results = slot
                         .into_inner()
-                        .expect("block slot poisoned")
-                        .expect("every block was claimed and completed");
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .expect("no failure was recorded, so every block completed");
                     merged.extend(results);
                 }
-                merged
+                Ok(merged)
             }
         }
     }
@@ -253,6 +500,14 @@ impl ShardPlan {
     /// operation that is associative over adjacent segments — which the
     /// workspace's merges (ordered concatenation, OR-reduction, stable
     /// sort by a shared sequence key) all are.
+    ///
+    /// # Panics
+    ///
+    /// If any segment's work panics, the panic is contained, **all**
+    /// workers are joined, and the original payload of the
+    /// lowest-indexed failed segment is re-raised on the calling
+    /// thread. Use [`ShardPlan::try_run_segments`] to receive the
+    /// failure as a value instead.
     pub fn run_segments<T, R>(
         &self,
         items: &mut [T],
@@ -263,22 +518,79 @@ impl ShardPlan {
         T: Send,
         R: Send,
     {
+        match self.run_segments_raw(&RunToken::new(), items, cost, work) {
+            Ok(results) => results,
+            Err(RawFailure::Panic { payload, .. }) => resume_unwind(payload),
+            Err(_) => unreachable!("a fresh never-cancelled token cannot cancel"),
+        }
+    }
+
+    /// Fallible [`ShardPlan::run_segments`]: worker panics are
+    /// contained and surfaced as [`ExecError::WorkerPanic`], and
+    /// `token` is checked at every segment/block boundary so
+    /// cancellation and deadlines stop the run with a deterministic
+    /// error and clean teardown. Items already processed by completed
+    /// segments keep their mutations (cooperative cancellation is a
+    /// boundary, not a rollback); the caller's slice is never poisoned
+    /// and can be reset and reused.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError::WorkerPanic`] when any segment's work panicked;
+    /// [`ExecError::Cancelled`] / [`ExecError::Deadline`] when the
+    /// token stopped the run first.
+    pub fn try_run_segments<T, R>(
+        &self,
+        token: &RunToken,
+        items: &mut [T],
+        cost: impl Fn(usize, &T) -> u64 + Sync,
+        work: impl Fn(usize, &mut [T]) -> R + Sync,
+    ) -> Result<Vec<R>, ExecError>
+    where
+        T: Send,
+        R: Send,
+    {
+        self.run_segments_raw(token, items, cost, work)
+            .map_err(RawFailure::into_exec)
+    }
+
+    /// The fallible core behind both `run_segments` flavours.
+    fn run_segments_raw<T, R>(
+        &self,
+        token: &RunToken,
+        items: &mut [T],
+        cost: impl Fn(usize, &T) -> u64 + Sync,
+        work: impl Fn(usize, &mut [T]) -> R + Sync,
+    ) -> Result<Vec<R>, RawFailure>
+    where
+        T: Send,
+        R: Send,
+    {
         if items.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         let sampler = ShardSampler::for_plan(self);
+        // One segment's contained run: the token gates entry, the work
+        // itself runs under catch_unwind.
+        let run_segment =
+            |shard: usize, base: usize, segment: &mut [T], units: u64| -> Result<R, RawFailure> {
+                token.check().map_err(RawFailure::from_exec)?;
+                let len = segment.len();
+                catch_unwind(AssertUnwindSafe(|| {
+                    sampler.observe(len, units, || work(base, segment))
+                }))
+                .map_err(|payload| RawFailure::Panic { shard, payload })
+            };
         if self.shard_count(items.len()) <= 1 {
             let units = sampler.units_over(0..items.len(), |index| cost(index, &items[index]));
-            let len = items.len();
-            return vec![sampler.observe(len, units, || work(0, items))];
+            return Ok(vec![run_segment(0, 0, items, units)?]);
         }
         match self.strategy() {
             ShardStrategy::Even | ShardStrategy::Cost => {
                 let ranges = self.contiguous_ranges(items.len(), |index| cost(index, &items[index]));
                 if ranges.len() <= 1 {
                     let units = sampler.units_over(0..items.len(), |index| cost(index, &items[index]));
-                    let len = items.len();
-                    return vec![sampler.observe(len, units, || work(0, items))];
+                    return Ok(vec![run_segment(0, 0, items, units)?]);
                 }
                 // Per-range units are summed before the mutable split
                 // below makes the items unreadable through `cost`.
@@ -297,18 +609,25 @@ impl ShardPlan {
                     let workers: Vec<_> = segments
                         .into_iter()
                         .zip(range_units)
-                        .map(|((base, segment), units)| {
-                            let work = &work;
-                            scope.spawn(move || {
-                                let len = segment.len();
-                                sampler.observe(len, units, || work(base, segment))
-                            })
+                        .enumerate()
+                        .map(|(shard, ((base, segment), units))| {
+                            let run_segment = &run_segment;
+                            scope.spawn(move || run_segment(shard, base, segment, units))
                         })
                         .collect();
-                    workers
-                        .into_iter()
-                        .map(|worker| worker.join().expect("segment worker panicked"))
-                        .collect()
+                    let mut merged = Vec::with_capacity(workers.len());
+                    let mut failure: Option<RawFailure> = None;
+                    for (shard, worker) in workers.into_iter().enumerate() {
+                        match worker.join() {
+                            Ok(Ok(result)) => merged.push(result),
+                            Ok(Err(raw)) => keep_worst(&mut failure, raw),
+                            Err(payload) => keep_worst(&mut failure, RawFailure::Panic { shard, payload }),
+                        }
+                    }
+                    match failure {
+                        None => Ok(merged),
+                        Some(raw) => Err(raw),
+                    }
                 })
             }
             ShardStrategy::Steal => {
@@ -328,47 +647,60 @@ impl ShardPlan {
                     .collect();
                 let workers = self.threads().min(blocks.len());
                 if workers <= 1 {
-                    return blocks
-                        .into_iter()
-                        .enumerate()
-                        .map(|(index, block)| {
-                            let (base, segment) = block
-                                .into_inner()
-                                .expect("block slot poisoned")
-                                .expect("block present");
-                            let units = block_units.get(index).copied().unwrap_or(0);
-                            let len = segment.len();
-                            sampler.observe(len, units, || work(base, segment))
-                        })
-                        .collect();
+                    let mut merged = Vec::with_capacity(blocks.len());
+                    for (index, block) in blocks.into_iter().enumerate() {
+                        let (base, segment) = block
+                            .into_inner()
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .expect("block present");
+                        let units = block_units.get(index).copied().unwrap_or(0);
+                        merged.push(run_segment(index, base, segment, units)?);
+                    }
+                    return Ok(merged);
                 }
                 let slots: Vec<Mutex<Option<R>>> = blocks.iter().map(|_| Mutex::new(None)).collect();
                 let next = AtomicUsize::new(0);
+                let abort = AtomicBool::new(false);
+                let failure: Mutex<Option<RawFailure>> = Mutex::new(None);
                 std::thread::scope(|scope| {
                     for _ in 0..workers {
                         scope.spawn(|| loop {
+                            if abort.load(Ordering::Relaxed) {
+                                break;
+                            }
                             let claimed = next.fetch_add(1, Ordering::Relaxed);
                             let Some(block) = blocks.get(claimed) else { break };
                             let (base, segment) = block
                                 .lock()
-                                .expect("block slot poisoned")
+                                .unwrap_or_else(PoisonError::into_inner)
                                 .take()
                                 .expect("each block is claimed exactly once");
                             let units = block_units.get(claimed).copied().unwrap_or(0);
-                            let len = segment.len();
-                            *slots[claimed].lock().expect("result slot poisoned") =
-                                Some(sampler.observe(len, units, || work(base, segment)));
+                            match run_segment(claimed, base, segment, units) {
+                                Ok(result) => {
+                                    *slots[claimed].lock().unwrap_or_else(PoisonError::into_inner) =
+                                        Some(result);
+                                }
+                                Err(raw) => {
+                                    record_failure(&failure, raw);
+                                    abort.store(true, Ordering::Relaxed);
+                                    break;
+                                }
+                            }
                         });
                     }
                 });
-                slots
+                if let Some(raw) = failure.into_inner().unwrap_or_else(PoisonError::into_inner) {
+                    return Err(raw);
+                }
+                Ok(slots
                     .into_iter()
                     .map(|slot| {
                         slot.into_inner()
-                            .expect("result slot poisoned")
-                            .expect("every block was claimed and completed")
+                            .unwrap_or_else(PoisonError::into_inner)
+                            .expect("no failure was recorded, so every block completed")
                     })
-                    .collect()
+                    .collect())
             }
         }
     }
@@ -392,6 +724,7 @@ impl ShardPlan {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::failpoint::{install_quiet_panic_hook, QUIET_MARKER};
     use crate::plan::ShardStrategy;
 
     fn plans() -> Vec<ShardPlan> {
@@ -507,6 +840,207 @@ mod tests {
                 mapped, expected,
                 "steal merge diverged at block size {block_size}"
             );
+        }
+    }
+
+    #[test]
+    fn two_simultaneously_panicking_shards_report_the_lowest_without_aborting() {
+        install_quiet_panic_hook();
+        // Two shards at two threads: both panic at the same time. The
+        // original executor joined with `.expect(...)` — the second
+        // panic unwinding through the first join was a double-panic
+        // abort hazard. Now both are caught, both joined, and the
+        // lowest shard is reported as a value.
+        let items: Vec<u64> = (0..8).collect();
+        let plan = ShardPlan::with_threads(2).with_strategy(ShardStrategy::Even);
+        let token = RunToken::new();
+        let result = plan.try_map_slots(
+            &token,
+            &items,
+            |_, _| 1,
+            || (),
+            |_, index, _| -> u64 { panic!("{QUIET_MARKER} shard item {index} exploded") },
+        );
+        match result {
+            Err(ExecError::WorkerPanic { shard, payload }) => {
+                assert_eq!(shard, 0, "the lowest failed shard must win");
+                assert!(payload.contains("exploded"), "{payload}");
+            }
+            other => panic!("expected a worker panic, got {other:?}"),
+        }
+        // Segments variant: both segment closures panic simultaneously.
+        let mut working: Vec<u64> = (0..8).collect();
+        let result = plan.try_run_segments(
+            &token,
+            &mut working,
+            |_, _| 1,
+            |base, _| -> u64 { panic!("{QUIET_MARKER} segment {base} exploded") },
+        );
+        assert!(
+            matches!(result, Err(ExecError::WorkerPanic { shard: 0, .. })),
+            "expected the lowest failed segment, got {result:?}"
+        );
+    }
+
+    #[test]
+    fn infallible_entry_points_resume_the_original_payload_after_joining_all() {
+        install_quiet_panic_hook();
+        let items: Vec<u64> = (0..64).collect();
+        for plan in plans() {
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                plan.map_slots(
+                    &items,
+                    |_, _| 1,
+                    || (),
+                    |_, index, &v| {
+                        if index >= 3 {
+                            std::panic::panic_any(format!("{QUIET_MARKER} original payload {index}"));
+                        }
+                        v
+                    },
+                )
+            }));
+            let payload = caught.expect_err("the contained panic must be re-raised");
+            let message = payload
+                .downcast_ref::<String>()
+                .expect("original String payload must survive containment");
+            assert!(message.contains("original payload"), "{message} under {plan}");
+        }
+    }
+
+    #[test]
+    fn steal_reports_the_lowest_failing_block() {
+        install_quiet_panic_hook();
+        let items: Vec<u64> = (0..40).collect();
+        let plan = ShardPlan::with_threads(7)
+            .with_strategy(ShardStrategy::Steal)
+            .with_block_size(1);
+        let result = plan.try_map_slots(
+            &RunToken::new(),
+            &items,
+            |_, _| 1,
+            || (),
+            |_, index, &v| {
+                if index == 5 || index == 9 {
+                    panic!("{QUIET_MARKER} block {index} exploded");
+                }
+                v
+            },
+        );
+        match result {
+            // Block 5 is always claimed before block 9 (monotonic
+            // counter), so the recorded minimum is deterministic.
+            Err(ExecError::WorkerPanic { shard, .. }) => assert_eq!(shard, 5),
+            other => panic!("expected a worker panic, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_every_strategy_deterministically() {
+        let items: Vec<u64> = (0..64).collect();
+        let token = RunToken::new();
+        token.cancel();
+        for plan in plans() {
+            let mapped = plan.try_map_slots(&token, &items, |_, _| 1, || (), |_, _, &v| v);
+            assert_eq!(mapped, Err(ExecError::Cancelled), "map under {plan}");
+            let mut working = items.clone();
+            let segments = plan.try_run_segments(&token, &mut working, |_, _| 1, |_, s| s.len());
+            assert_eq!(segments, Err(ExecError::Cancelled), "segments under {plan}");
+            let isolated =
+                plan.map_slots_isolated(&token, &items, |_, _| 1, || (), |_, _, &v| Ok::<_, ()>(v));
+            assert_eq!(isolated, Err(ExecError::Cancelled), "isolated under {plan}");
+        }
+        // Empty input short-circuits before the token is consulted.
+        let empty: [u64; 0] = [];
+        let plan = ShardPlan::with_threads(4);
+        assert_eq!(
+            plan.try_map_slots(&token, &empty, |_, _| 1, || (), |_, _, &v| v),
+            Ok(Vec::new())
+        );
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_on_every_strategy() {
+        use std::time::{Duration, Instant};
+        let items: Vec<u64> = (0..16).collect();
+        let token = RunToken::with_deadline(Instant::now() - Duration::from_millis(1));
+        for plan in plans() {
+            let mapped = plan.try_map_slots(&token, &items, |_, _| 1, || (), |_, _, &v| v);
+            assert_eq!(mapped, Err(ExecError::Deadline), "map under {plan}");
+        }
+    }
+
+    #[test]
+    fn cancellation_leaves_items_resettable_not_poisoned() {
+        let token = RunToken::new();
+        token.cancel();
+        let mut items: Vec<u64> = (0..32).collect();
+        let plan = ShardPlan::with_threads(4);
+        let result = plan.try_run_segments(
+            &token,
+            &mut items,
+            |_, _| 1,
+            |_, segment| {
+                for value in segment.iter_mut() {
+                    *value += 1000;
+                }
+            },
+        );
+        assert_eq!(result, Err(ExecError::Cancelled));
+        // Clean teardown: the slice is untouched (cancellation beat
+        // every segment) and immediately reusable with a fresh token.
+        assert_eq!(items, (0..32).collect::<Vec<u64>>());
+        let fresh = RunToken::new();
+        let segments = plan.try_run_segments(
+            &fresh,
+            &mut items,
+            |_, _| 1,
+            |_, segment| {
+                for value in segment.iter_mut() {
+                    *value += 1;
+                }
+                segment.len()
+            },
+        );
+        assert!(segments.is_ok());
+        assert_eq!(items, (1..33).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn isolated_map_confines_faults_to_their_own_slots() {
+        install_quiet_panic_hook();
+        let items: Vec<u64> = (0..50).collect();
+        let token = RunToken::new();
+        for plan in plans() {
+            let slots = plan
+                .map_slots_isolated(
+                    &token,
+                    &items,
+                    |_, _| 1,
+                    || 0u64,
+                    |scratch, _, &v| {
+                        *scratch = scratch.wrapping_add(v);
+                        if v % 10 == 3 {
+                            panic!("{QUIET_MARKER} item {v} panicked");
+                        }
+                        if v % 10 == 7 {
+                            return Err(v);
+                        }
+                        Ok(v * 2)
+                    },
+                )
+                .expect("item faults must not fail the run");
+            assert_eq!(slots.len(), items.len());
+            for (&v, slot) in items.iter().zip(&slots) {
+                match (v % 10, slot) {
+                    (3, Err(ItemFault::Panic { payload })) => {
+                        assert!(payload.contains("panicked"), "{payload}")
+                    }
+                    (7, Err(ItemFault::Error(error))) => assert_eq!(*error, v),
+                    (_, Ok(doubled)) => assert_eq!(*doubled, v * 2, "under {plan}"),
+                    (_, unexpected) => panic!("slot for {v} diverged under {plan}: {unexpected:?}"),
+                }
+            }
         }
     }
 }

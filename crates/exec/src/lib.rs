@@ -32,7 +32,17 @@
 //! scratch state (a reusable memory, a golden store) must not leak
 //! observable effects between items.
 //!
-//! Two supporting modules round out the crate:
+//! **Fault containment.** Worker panics are caught per shard/block and
+//! all workers are joined before anything propagates, so two shards
+//! panicking simultaneously can no longer escalate into a double-panic
+//! process abort. The fallible entry points
+//! ([`ShardPlan::try_map_slots`], [`ShardPlan::try_run_segments`],
+//! [`ShardPlan::map_slots_isolated`]) surface failures as a structured
+//! [`ExecError`] / [`ItemFault`] taxonomy, and a [`RunToken`] gives
+//! callers cooperative cancellation and deadlines checked at item,
+//! segment and block boundaries with clean teardown.
+//!
+//! Three supporting modules round out the crate:
 //!
 //! * [`env`] centralises the `ESRAM_*` knob parsing (warn-once fallback
 //!   on malformed values) so every knob shares one discipline.
@@ -41,19 +51,28 @@
 //!   `fixed + unit · units` picosecond weights, replacing the old
 //!   hand-tuned per-call-site constants. Calibration moves shard
 //!   *boundaries* only — results are byte-identical under any table.
+//! * [`failpoint`] deterministically injects panics/errors/delays at
+//!   named sites ([`FAILPOINTS_ENV`], e.g. `diag.segment@job=3:panic`),
+//!   zero-cost when unset — the substrate for the chaos test suites.
 
 #![deny(missing_docs)]
 #![deny(missing_debug_implementations)]
 
 pub mod calibrate;
 pub mod env;
+pub mod error;
 pub mod executor;
+pub mod failpoint;
 pub mod plan;
+pub mod token;
 
 pub use calibrate::{CalibrationMode, CostCalibration, CostDomain, DomainWeights, CALIB_ENV};
 pub use env::EnvFallback;
+pub use error::{panic_payload, ExecError, ItemFault};
 pub use executor::WorkCost;
+pub use failpoint::{FailAction, Failpoint, FailpointGuard, FailpointSet, InjectedFailure, FAILPOINTS_ENV};
 pub use plan::{
     block_ranges, cost_ranges, even_ranges, steal_schedule, ShardPlan, ShardStrategy, DEFAULT_BLOCK_SIZE,
     SCHED_ENV, THREADS_ENV,
 };
+pub use token::RunToken;

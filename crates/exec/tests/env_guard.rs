@@ -5,7 +5,9 @@
 //! this test turns that into a loud failure. The matrix runs it once
 //! per configuration before the determinism suites.
 
-use esram_exec::{CalibrationMode, ShardPlan, CALIB_ENV, SCHED_ENV, THREADS_ENV};
+use esram_exec::{
+    CalibrationMode, FailpointSet, ShardPlan, CALIB_ENV, FAILPOINTS_ENV, SCHED_ENV, THREADS_ENV,
+};
 
 #[test]
 fn ambient_executor_knobs_are_well_formed() {
@@ -17,6 +19,20 @@ fn ambient_executor_knobs_are_well_formed() {
         "malformed executor knob(s) in the environment: {fallbacks:?} \
          (the run would silently fall back to {plan})"
     );
+}
+
+#[test]
+fn ambient_failpoint_knob_is_well_formed() {
+    // A chaos-matrix entry like `ESRAM_FAILPOINTS=diag.segment:explode`
+    // must fail loudly instead of silently running with injection
+    // disarmed while the job name claims a failure is being injected.
+    if let Ok(raw) = std::env::var(FAILPOINTS_ENV) {
+        assert!(
+            FailpointSet::parse(&raw).is_some(),
+            "malformed {FAILPOINTS_ENV}='{raw}' in the environment \
+             (the run would silently disarm all failpoints)"
+        );
+    }
 }
 
 #[test]

@@ -4,7 +4,8 @@
 //! map — and mutable-segment processing touches every item exactly
 //! once, in order, under every partition.
 
-use esram_exec::{cost_ranges, even_ranges, steal_schedule, ShardPlan, ShardStrategy};
+use esram_exec::failpoint::{install_quiet_panic_hook, QUIET_MARKER};
+use esram_exec::{cost_ranges, even_ranges, steal_schedule, ItemFault, RunToken, ShardPlan, ShardStrategy};
 use proptest::collection;
 use proptest::prelude::*;
 
@@ -166,6 +167,82 @@ proptest! {
                 next += len;
             }
             prop_assert_eq!(next, items.len(), "segments must cover every item under {}", strategy);
+        }
+    }
+
+    /// Property: the isolated mapper confines panicking and erroring
+    /// items to their own slots, and every *surviving* slot equals the
+    /// sequential map — for every strategy, worker count and block
+    /// size, even though caught panics forced scratch-state rebuilds
+    /// mid-shard.
+    #[test]
+    fn isolated_map_survives_poisoned_items(
+        items in collection::vec(any::<u64>(), 0..130),
+        panic_mod in 2u64..12,
+        error_mod in 2u64..12,
+        block_size in 1usize..41,
+        workers_index in 0usize..4,
+    ) {
+        install_quiet_panic_hook();
+        let threads = WORKER_COUNTS[workers_index];
+        let token = RunToken::new();
+        // The sequential classification the surviving slots must match.
+        let classify = |value: u64| -> Option<Result<u64, u64>> {
+            if value.is_multiple_of(panic_mod) {
+                None // this slot panics
+            } else if value.is_multiple_of(error_mod) {
+                Some(Err(value)) // this slot errors
+            } else {
+                Some(Ok(value.wrapping_mul(7)))
+            }
+        };
+        for strategy in ShardStrategy::all() {
+            let plan = ShardPlan::with_threads(threads)
+                .with_strategy(strategy)
+                .with_block_size(block_size);
+            let slots = plan
+                .map_slots_isolated(
+                    &token,
+                    &items,
+                    |index, value| value % 5 + (index as u64 & 1),
+                    || 0u64,
+                    |scratch, _, &value| {
+                        // Scratch drifts per worker and is rebuilt after
+                        // caught panics; surviving results must not care.
+                        *scratch = scratch.wrapping_add(value);
+                        match classify(value) {
+                            None => std::panic::panic_any(format!(
+                                "{QUIET_MARKER} injected item panic on {value}"
+                            )),
+                            Some(Err(error)) => Err(error),
+                            Some(Ok(result)) => Ok(result),
+                        }
+                    },
+                )
+                .expect("item faults must never fail the run");
+            prop_assert_eq!(slots.len(), items.len());
+            for (index, (&value, slot)) in items.iter().zip(&slots).enumerate() {
+                match (classify(value), slot) {
+                    (None, Err(ItemFault::Panic { payload })) => {
+                        prop_assert!(payload.contains("injected item panic"), "{}", payload);
+                    }
+                    (Some(Err(expected)), Err(ItemFault::Error(error))) => {
+                        prop_assert_eq!(*error, expected);
+                    }
+                    (Some(Ok(expected)), Ok(result)) => {
+                        prop_assert_eq!(
+                            *result, expected,
+                            "surviving slot {} diverged under {} x {} threads, block {}",
+                            index, strategy, threads, block_size
+                        );
+                    }
+                    (expected, actual) => prop_assert!(
+                        false,
+                        "slot {} misclassified under {}: expected {:?}, got {:?}",
+                        index, strategy, expected, actual
+                    ),
+                }
+            }
         }
     }
 }

@@ -45,7 +45,7 @@ use crate::coverage::CoverageReport;
 use crate::engine::{MarchRunner, RunOutcome};
 use crate::ops::MarchTest;
 use crate::schedule::{MarchSchedule, SchedulePatterns, SchedulePhase};
-use crate::shard::{CostCalibration, CostDomain, ShardPlan};
+use crate::shard::{failpoint, CostCalibration, CostDomain, ExecError, RunToken, ShardPlan};
 use fault_models::{FaultList, MemoryFault};
 use sram_model::{Address, CellFault, MemConfig, Sram};
 use std::collections::BTreeMap;
@@ -285,6 +285,39 @@ impl FaultSimulator {
             |_, fault| calibration.cost(CostDomain::FaultSim, self.fault_cost(prep.golden_passed, fault)),
             || Sram::new(self.config),
             |sram, _, fault| self.simulate_fault_batched(sram, &prep, fault),
+        )
+    }
+
+    /// Fallible [`FaultSimulator::simulate_universe_with`]: the same
+    /// byte-identical universe-order outcomes, but worker panics are
+    /// contained ([`ExecError::WorkerPanic`]) and `token` cancellation
+    /// and deadlines stop the run at fault boundaries with clean
+    /// teardown. The `fault.sim` failpoint (qualified by the flat fault
+    /// `index`) fires inside each fault's work, so chaos suites can
+    /// inject deterministic panics and delays into the simulation loop.
+    ///
+    /// # Errors
+    ///
+    /// [`ExecError`] when a worker panicked or the token stopped the
+    /// run.
+    pub fn try_simulate_universe_with(
+        &self,
+        plan: ShardPlan,
+        token: &RunToken,
+        schedule: &MarchSchedule,
+        universe: &FaultList,
+    ) -> Result<Vec<FaultSimOutcome>, ExecError> {
+        let prep = self.prepare(schedule);
+        let calibration = CostCalibration::current();
+        plan.with_domain(CostDomain::FaultSim).try_map_slots(
+            token,
+            universe.as_slice(),
+            |_, fault| calibration.cost(CostDomain::FaultSim, self.fault_cost(prep.golden_passed, fault)),
+            || Sram::new(self.config),
+            |sram, index, fault| {
+                failpoint::trip("fault.sim", &[("index", index as u64)]);
+                self.simulate_fault_batched(sram, &prep, fault)
+            },
         )
     }
 

@@ -11,9 +11,11 @@
 //! dependency edge.
 
 pub use esram_exec::{
-    block_ranges, cost_ranges, even_ranges, steal_schedule, CalibrationMode, CostCalibration, CostDomain,
-    DomainWeights, EnvFallback, ShardPlan, ShardStrategy, WorkCost, CALIB_ENV, DEFAULT_BLOCK_SIZE, SCHED_ENV,
-    THREADS_ENV,
+    block_ranges, cost_ranges, even_ranges, panic_payload, steal_schedule, CalibrationMode, CostCalibration,
+    CostDomain, DomainWeights, EnvFallback, ExecError, FailAction, Failpoint, FailpointGuard, FailpointSet,
+    InjectedFailure, ItemFault, RunToken, ShardPlan, ShardStrategy, WorkCost, CALIB_ENV, DEFAULT_BLOCK_SIZE,
+    FAILPOINTS_ENV, SCHED_ENV, THREADS_ENV,
 };
 
 pub use esram_exec::env::{parse_knob, read_knob};
+pub use esram_exec::failpoint;

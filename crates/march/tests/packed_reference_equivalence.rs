@@ -101,7 +101,9 @@ proptest! {
     #[test]
     fn march_programmes_observe_identical_read_sequences(
         words in 2u64..24,
-        width in 1usize..140,
+        // The full constructible width domain: MemConfig rejects
+        // anything past MemConfig::MAX_WIDTH at construction.
+        width in 1usize..129,
         fault_count in 0usize..6,
         which in 0usize..5,
         seed in any::<u64>(),

@@ -91,13 +91,21 @@ pub struct MemConfig {
 }
 
 impl MemConfig {
+    /// Widest supported IO width in bits.
+    ///
+    /// The packed bit-plane kernels keep one word per memory inline in
+    /// two 64-bit limbs; widths past that bound would silently truncate
+    /// data downstream, so construction rejects them up front.
+    pub const MAX_WIDTH: usize = 128;
+
     /// Creates a memory configuration.
     ///
     /// # Errors
     ///
-    /// Returns [`MemError::InvalidConfig`] if `words` or `width` is zero.
+    /// Returns [`MemError::InvalidConfig`] if `words` or `width` is
+    /// zero, or if `width` exceeds [`MemConfig::MAX_WIDTH`].
     pub fn new(words: u64, width: usize) -> Result<Self, MemError> {
-        if words == 0 || width == 0 {
+        if words == 0 || width == 0 || width > Self::MAX_WIDTH {
             return Err(MemError::InvalidConfig { words, width });
         }
         Ok(MemConfig { words, width })
@@ -211,6 +219,20 @@ mod tests {
             Err(MemError::InvalidConfig { .. })
         ));
         assert!(MemConfig::new(1, 1).is_ok());
+    }
+
+    #[test]
+    fn new_rejects_widths_past_the_inline_limb_bound() {
+        assert_eq!(
+            MemConfig::new(16, MemConfig::MAX_WIDTH + 1),
+            Err(MemError::InvalidConfig {
+                words: 16,
+                width: 129
+            })
+        );
+        assert!(MemConfig::new(16, MemConfig::MAX_WIDTH).is_ok());
+        // The paper's benchmark geometry stays comfortably inside.
+        assert!(MemConfig::date2005_benchmark().width() <= MemConfig::MAX_WIDTH);
     }
 
     #[test]

@@ -32,7 +32,9 @@ pub enum MemError {
         /// Word width in bits.
         width: usize,
     },
-    /// The memory configuration is invalid (zero words or zero width).
+    /// The memory configuration is invalid: zero words, zero width, or
+    /// a width past the supported maximum
+    /// ([`MemConfig::MAX_WIDTH`](crate::MemConfig::MAX_WIDTH)).
     InvalidConfig {
         /// Requested number of words.
         words: u64,
