@@ -2,7 +2,7 @@
 
 use crate::score::DiagnosisScore;
 use bisd::{DiagnosisResult, MemoryUnderDiagnosis};
-use fault_models::{DefectProfile, FaultInjector};
+use fault_models::{DefectProfile, FaultClass, FaultInjector};
 use march::shard::{CostCalibration, CostDomain};
 use march::ShardPlan;
 use sram_model::{MemConfig, MemError, MemoryId};
@@ -32,6 +32,7 @@ pub struct SocBuilder {
     configs: Vec<MemConfig>,
     defect_rate: f64,
     include_drf: bool,
+    classes: Option<Vec<FaultClass>>,
     seed: u64,
     spares: usize,
 }
@@ -42,6 +43,7 @@ impl SocBuilder {
             configs: Vec::new(),
             defect_rate: 0.0,
             include_drf: false,
+            classes: None,
             seed: 0xDA7E_2005,
             spares: 4,
         }
@@ -83,6 +85,25 @@ impl SocBuilder {
     /// the four baseline classes of [8] are injected).
     pub fn with_data_retention_defects(mut self) -> Self {
         self.include_drf = true;
+        self
+    }
+
+    /// Restricts the defect mix to an explicit set of fault classes
+    /// (equal likelihood), replacing the paper's four-class baseline
+    /// profile. Address-decoder faults alias whole rows and coupling
+    /// faults interact, so dense populations of those classes mask a
+    /// few percent of sites; a cell-array-only mix (stuck-at,
+    /// transition) is fully locatable at any density and seed.
+    ///
+    /// [`SocBuilder::with_data_retention_defects`] still appends DRFs
+    /// on top of whatever mix is selected here.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty.
+    pub fn fault_classes(mut self, classes: &[FaultClass]) -> Self {
+        assert!(!classes.is_empty(), "fault-class mix must not be empty");
+        self.classes = Some(classes.to_vec());
         self
     }
 
@@ -151,10 +172,24 @@ impl SocBuilder {
 
     /// The defect profile this builder injects from.
     pub(crate) fn defect_profile(&self) -> DefectProfile {
-        if self.include_drf {
-            DefectProfile::with_data_retention(self.defect_rate)
-        } else {
-            DefectProfile::date2005(self.defect_rate)
+        match &self.classes {
+            None => {
+                if self.include_drf {
+                    DefectProfile::with_data_retention(self.defect_rate)
+                } else {
+                    DefectProfile::date2005(self.defect_rate)
+                }
+            }
+            Some(classes) => {
+                let mut weights: Vec<(FaultClass, f64)> = classes.iter().map(|&class| (class, 1.0)).collect();
+                if self.include_drf && !classes.contains(&FaultClass::DataRetention) {
+                    weights.push((FaultClass::DataRetention, 1.0));
+                }
+                DefectProfile {
+                    defect_rate: self.defect_rate,
+                    class_weights: weights,
+                }
+            }
         }
     }
 
@@ -369,5 +404,49 @@ mod tests {
             .iter()
             .any(|f| f.class() == fault_models::FaultClass::DataRetention);
         assert!(has_drf, "with_data_retention_defects must add DRFs to the mix");
+    }
+
+    #[test]
+    fn fault_classes_pins_the_defect_mix() {
+        let soc = Soc::builder()
+            .memories(1, 128, 16)
+            .unwrap()
+            .defect_rate(0.05)
+            .fault_classes(&[FaultClass::StuckAt, FaultClass::Transition])
+            .seed(5)
+            .build()
+            .unwrap();
+        for fault in soc.memories()[0].injected.iter() {
+            assert!(
+                matches!(fault.class(), FaultClass::StuckAt | FaultClass::Transition),
+                "unexpected class in pinned mix: {}",
+                fault.class()
+            );
+        }
+    }
+
+    #[test]
+    fn cell_array_mixes_are_fully_locatable_at_case_study_density() {
+        // The basis of the case-study spec's `all_faults_located`
+        // guarantee: stuck-at and transition faults sit on distinct
+        // cells (injection draws without replacement) and do not
+        // interact, so the fast scheme locates every one even at the
+        // paper's 1 % density — unlike decoder/coupling populations,
+        // whose aliasing masks a few percent of sites.
+        let mut soc = Soc::builder()
+            .memories(1, 512, 100)
+            .unwrap()
+            .defect_rate(0.01)
+            .fault_classes(&[FaultClass::StuckAt, FaultClass::Transition])
+            .seed(42)
+            .build()
+            .unwrap();
+        let result = FastScheme::new(10.0)
+            .with_drf_mode(bisd::DrfMode::None)
+            .diagnose(soc.memories_mut())
+            .unwrap();
+        let score = soc.score(&result);
+        assert_eq!(score.located(), score.injected());
+        assert_eq!(score.additional_sites, 0);
     }
 }

@@ -19,6 +19,35 @@
 use std::collections::BTreeSet;
 use std::sync::Mutex;
 
+/// Environment override for the `esram` CLI's report output directory.
+///
+/// The CLI's `--out` flag wins over this knob, which wins over the
+/// spec's own `[report] dir`. The knob lives here — not in the CLI —
+/// so it parses through the same warn-once discipline as every other
+/// `ESRAM_*` variable and the ambient `env_guard` suite can assert a
+/// CI matrix row's value is well-formed before any job runs under it.
+pub const SPEC_OUT_ENV: &str = "ESRAM_SPEC_OUT";
+
+/// Parser for [`SPEC_OUT_ENV`]: any non-blank path is accepted
+/// verbatim; a set-but-blank value is malformed (it would silently
+/// write reports to the current directory while the environment claims
+/// an override is in force).
+pub fn parse_spec_out(raw: &str) -> Option<String> {
+    let trimmed = raw.trim();
+    (!trimmed.is_empty()).then(|| raw.to_string())
+}
+
+/// Reads the CLI output-directory override from the environment through
+/// [`read_knob`]: unset (or set-but-blank, after a warning) yields
+/// `None` and the caller falls back to its own default.
+pub fn spec_out_from_env() -> Option<String> {
+    read_knob(
+        SPEC_OUT_ENV,
+        parse_spec_out,
+        || "the spec's own report directory".to_string(),
+    )
+}
+
 /// A set-but-malformed environment knob and the value that was used in
 /// its place, as reported by [`parse_knob`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -121,6 +150,24 @@ mod tests {
         );
         assert_eq!(value, Some(7));
         assert_eq!(report, None);
+    }
+
+    #[test]
+    fn spec_out_accepts_any_non_blank_path_and_rejects_blank_ones() {
+        assert_eq!(parse_spec_out("/tmp/reports"), Some("/tmp/reports".to_string()));
+        assert_eq!(parse_spec_out("relative/dir"), Some("relative/dir".to_string()));
+        // Leading/trailing whitespace alone is not a directory.
+        assert_eq!(parse_spec_out(""), None);
+        assert_eq!(parse_spec_out("   "), None);
+        // And through the shared parse path the rejection is reported.
+        let (value, report) = parse_knob(
+            SPEC_OUT_ENV,
+            Some(""),
+            parse_spec_out,
+            || "the spec's own report directory".to_string(),
+        );
+        assert_eq!(value, None::<String>);
+        assert!(report.is_some());
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! per configuration before the determinism suites.
 
 use esram_exec::{
-    CalibrationMode, FailpointSet, ShardPlan, CALIB_ENV, FAILPOINTS_ENV, SCHED_ENV, THREADS_ENV,
+    parse_spec_out, CalibrationMode, FailpointSet, ShardPlan, CALIB_ENV, FAILPOINTS_ENV, SCHED_ENV,
+    SPEC_OUT_ENV, THREADS_ENV,
 };
 
 #[test]
@@ -31,6 +32,20 @@ fn ambient_failpoint_knob_is_well_formed() {
             FailpointSet::parse(&raw).is_some(),
             "malformed {FAILPOINTS_ENV}='{raw}' in the environment \
              (the run would silently disarm all failpoints)"
+        );
+    }
+}
+
+#[test]
+fn ambient_spec_out_knob_is_well_formed() {
+    // The CLI's output-directory override: a set-but-blank value would
+    // silently dump reports into the working directory while the job
+    // name claims an override directory is in force.
+    if let Ok(raw) = std::env::var(SPEC_OUT_ENV) {
+        assert!(
+            parse_spec_out(&raw).is_some(),
+            "malformed {SPEC_OUT_ENV}='{raw}' in the environment \
+             (the run would silently fall back to the spec's own report directory)"
         );
     }
 }

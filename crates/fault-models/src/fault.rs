@@ -56,6 +56,31 @@ impl FaultClass {
         ]
     }
 
+    /// Stable lowercase identifier used by scenario specs and reports
+    /// (`"stuck-at"`, `"transition"`, ...). Round-trips through
+    /// [`FaultClass::parse`].
+    pub fn slug(self) -> &'static str {
+        match self {
+            FaultClass::StuckAt => "stuck-at",
+            FaultClass::Transition => "transition",
+            FaultClass::Coupling => "coupling",
+            FaultClass::AddressDecoder => "address-decoder",
+            FaultClass::DataRetention => "data-retention",
+            FaultClass::ReadDisturb => "read-disturb",
+            FaultClass::StuckOpen => "stuck-open",
+        }
+    }
+
+    /// Parses a fault-class name: the [`FaultClass::slug`] spelling or
+    /// the short report abbreviation ([`FaultClass::name`]), case
+    /// insensitively. Returns `None` for anything else.
+    pub fn parse(raw: &str) -> Option<FaultClass> {
+        let lowered = raw.to_ascii_lowercase();
+        FaultClass::all()
+            .into_iter()
+            .find(|class| class.slug() == lowered || class.name().to_ascii_lowercase() == lowered)
+    }
+
     /// Short name used in reports and benchmark tables.
     pub fn name(self) -> &'static str {
         match self {
@@ -332,5 +357,16 @@ mod tests {
         assert_eq!(f.to_string(), "SA0 at @0x3[2]");
         assert_eq!(FaultClass::DataRetention.to_string(), "DRF");
         assert_eq!(FaultClass::StuckAt.name(), "SAF");
+    }
+
+    #[test]
+    fn class_slugs_round_trip_through_parse() {
+        for class in FaultClass::all() {
+            assert_eq!(FaultClass::parse(class.slug()), Some(class));
+            assert_eq!(FaultClass::parse(class.name()), Some(class));
+            assert_eq!(FaultClass::parse(&class.slug().to_ascii_uppercase()), Some(class));
+        }
+        assert_eq!(FaultClass::parse("bit-rot"), None);
+        assert_eq!(FaultClass::parse(""), None);
     }
 }

@@ -1,0 +1,129 @@
+//! Round-trip property: for any valid spec, `to_toml` followed by
+//! `parse` reproduces the spec exactly — and hence the identical
+//! compiled plan. This is what makes the serialised spec a faithful
+//! archive format: nothing a spec can express is lost or re-defaulted
+//! by a write/read cycle.
+
+use esram_spec::{
+    DefectSpec, DrfSpec, MemoryGroup, ReportSpec, ScenarioSpec, SchemeKind, SchemeSpec, SweepSpec,
+};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn memory_group(raw: u64) -> MemoryGroup {
+    MemoryGroup {
+        count: (raw % 3) as usize + 1,
+        words: raw % 600 + 1,
+        width: (raw / 600 % 128) as usize + 1,
+    }
+}
+
+/// An explicit class mix selected by bitmask; 0 = the default profile.
+fn fault_classes(mask: u8) -> Vec<esram_diag::FaultClass> {
+    use esram_diag::FaultClass;
+    let pool = [FaultClass::StuckAt, FaultClass::Transition, FaultClass::Coupling];
+    pool.iter()
+        .enumerate()
+        .filter(|(bit, _)| mask & (1 << bit) != 0)
+        .map(|(_, &class)| class)
+        .collect()
+}
+
+fn scheme(pick: u8, clock_tenths: u64, pause_ms: u32, cap: u64) -> SchemeSpec {
+    let clock_ns = clock_tenths as f64 / 10.0;
+    match pick {
+        0 => SchemeSpec {
+            kind: SchemeKind::Fast,
+            clock_ns,
+            drf: DrfSpec::Nwrtm,
+            max_iterations: 4096,
+        },
+        1 => SchemeSpec {
+            kind: SchemeKind::Fast,
+            clock_ns,
+            drf: DrfSpec::None,
+            max_iterations: 4096,
+        },
+        2 => SchemeSpec {
+            kind: SchemeKind::Fast,
+            clock_ns,
+            drf: DrfSpec::Pause(pause_ms),
+            max_iterations: 4096,
+        },
+        3 => SchemeSpec {
+            kind: SchemeKind::Baseline,
+            clock_ns,
+            drf: DrfSpec::None,
+            max_iterations: cap,
+        },
+        _ => SchemeSpec {
+            kind: SchemeKind::Baseline,
+            clock_ns,
+            drf: DrfSpec::Pause(pause_ms),
+            max_iterations: cap,
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Serialise, reparse, recompile: everything must be identical.
+    #[test]
+    fn specs_round_trip_through_toml(
+        seed in 0u64..1_000_000_000,
+        groups in vec(0u64..1_000_000, 1..4),
+        rate_milli in 0u64..1001,
+        data_retention in any::<bool>(),
+        spares in 0u64..9,
+        scheme_pick in 0u8..5,
+        clock_tenths in 1u64..500,
+        pause_ms in 1u32..2000,
+        cap in 1u64..10_000,
+        kernel_pick in 0u8..3,
+        class_mask in 0u8..8,
+        sweep_rate_millis in vec(0u64..1001, 0..4),
+        sweep_seeds in vec(0u64..1_000_000, 0..4),
+        sites in any::<bool>(),
+        dir_pick in 0u8..3,
+    ) {
+        let spec = ScenarioSpec {
+            name: format!("roundtrip-{seed}"),
+            seed,
+            memories: groups.iter().map(|&raw| memory_group(raw)).collect(),
+            defects: DefectSpec {
+                rate: rate_milli as f64 / 1000.0,
+                classes: fault_classes(class_mask),
+                data_retention,
+                spares: spares as usize,
+            },
+            scheme: scheme(scheme_pick, clock_tenths, pause_ms, cap),
+            kernel: match kernel_pick {
+                0 => None,
+                1 => Some(bisd::DiagnosisKernel::BitParallel),
+                _ => Some(bisd::DiagnosisKernel::PerMemory),
+            },
+            sweep: SweepSpec {
+                defect_rates: sweep_rate_millis.iter().map(|&m| m as f64 / 1000.0).collect(),
+                seeds: sweep_seeds,
+            },
+            report: ReportSpec {
+                dir: match dir_pick {
+                    0 => None,
+                    1 => Some("out".to_string()),
+                    _ => Some("nested/dir_name-1.2".to_string()),
+                },
+                sites,
+            },
+        };
+
+        let serialised = spec.to_toml();
+        let reparsed = ScenarioSpec::parse(&serialised)
+            .unwrap_or_else(|error| panic!("serialised spec must reparse: {error}\n{serialised}"));
+        prop_assert_eq!(&reparsed, &spec);
+        prop_assert_eq!(reparsed.compile(), spec.compile());
+
+        // A second write must be byte-stable, too.
+        prop_assert_eq!(reparsed.to_toml(), serialised);
+    }
+}
