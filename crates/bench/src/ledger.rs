@@ -6,8 +6,14 @@
 //! the format has exactly one reader and one writer. This module
 //! implements the CI perf-regression gate's comparison on top: a fresh
 //! run of a benchmark group is compared entry-by-entry against the
-//! committed ledger, and any benchmark whose mean slowed down by more
-//! than the allowed factor fails the gate. New benchmarks (present only
+//! committed ledger, and any benchmark whose **minimum** sample slowed
+//! down by more than the allowed factor fails the gate. The minimum is
+//! the gate statistic (rather than the mean) because it is the run's
+//! least-noisy observation: scheduler preemption and cache pollution
+//! only ever add time, so `min_ns` estimates the true cost with far
+//! less variance than `mean_ns` on shared CI runners. Entries whose
+//! recorded minimum is 0 (sub-nanosecond or legacy ledgers) fall back
+//! to the mean. New benchmarks (present only
 //! in the fresh run) and retired ones (present only in the ledger) are
 //! reported but never fail the gate — the ledger update that introduces
 //! or removes entries is reviewed with the code change itself.
@@ -26,10 +32,12 @@ use std::fmt;
 pub struct Comparison {
     /// Benchmark id.
     pub name: String,
-    /// Committed (baseline) mean in nanoseconds.
-    pub baseline_mean_ns: u128,
-    /// Fresh-run mean in nanoseconds.
-    pub fresh_mean_ns: u128,
+    /// Committed (baseline) gate statistic in nanoseconds: the ledger's
+    /// `min_ns`, or its `mean_ns` when the recorded minimum is 0.
+    pub baseline_ns: u128,
+    /// Fresh-run gate statistic in nanoseconds (same min-with-mean-
+    /// fallback rule as the baseline).
+    pub fresh_ns: u128,
     /// `fresh / baseline` (> 1 means the benchmark got slower).
     pub ratio: f64,
 }
@@ -45,8 +53,8 @@ impl fmt::Display for Comparison {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}: committed {} ns -> fresh {} ns ({:.2}x)",
-            self.name, self.baseline_mean_ns, self.fresh_mean_ns, self.ratio
+            "{}: committed min {} ns -> fresh min {} ns ({:.2}x)",
+            self.name, self.baseline_ns, self.fresh_ns, self.ratio
         )
     }
 }
@@ -101,6 +109,17 @@ pub fn gate_groups(
         .collect()
 }
 
+/// The statistic the gate compares for one record: the minimum sample,
+/// falling back to the mean when the recorded minimum is 0 (legacy
+/// ledgers predating `min_ns`, or genuinely sub-nanosecond entries).
+fn gate_ns(record: &BenchRecord) -> u128 {
+    if record.min_ns == 0 {
+        record.mean_ns
+    } else {
+        record.min_ns
+    }
+}
+
 /// Compares the fresh entries whose names start with `prefix` against
 /// the committed baseline (an empty prefix gates everything).
 pub fn gate(baseline: &[BenchRecord], fresh: &[BenchRecord], prefix: &str) -> GateReport {
@@ -108,17 +127,19 @@ pub fn gate(baseline: &[BenchRecord], fresh: &[BenchRecord], prefix: &str) -> Ga
     for entry in fresh.iter().filter(|e| e.name.starts_with(prefix)) {
         match baseline.iter().find(|b| b.name == entry.name) {
             Some(base) => {
+                let baseline_ns = gate_ns(base);
+                let fresh_ns = gate_ns(entry);
                 // Baselines of 0 ns cannot regress meaningfully; treat
                 // them as ratio 1 to avoid dividing by zero.
-                let ratio = if base.mean_ns == 0 {
+                let ratio = if baseline_ns == 0 {
                     1.0
                 } else {
-                    entry.mean_ns as f64 / base.mean_ns as f64
+                    fresh_ns as f64 / baseline_ns as f64
                 };
                 report.compared.push(Comparison {
                     name: entry.name.clone(),
-                    baseline_mean_ns: base.mean_ns,
-                    fresh_mean_ns: entry.mean_ns,
+                    baseline_ns,
+                    fresh_ns,
                     ratio,
                 });
             }
@@ -234,11 +255,67 @@ mod tests {
     }
 
     #[test]
+    fn gate_compares_minimums_not_means() {
+        // A fresh run whose mean tripled from scheduler noise but whose
+        // minimum barely moved must pass: the minimum is the gate
+        // statistic.
+        let baseline = vec![BenchRecord {
+            name: "g/noisy".to_string(),
+            mean_ns: 100,
+            min_ns: 50,
+            samples: 10,
+        }];
+        let fresh = vec![BenchRecord {
+            name: "g/noisy".to_string(),
+            mean_ns: 300,
+            min_ns: 60,
+            samples: 10,
+        }];
+        let report = gate(&baseline, &fresh, "g/");
+        assert_eq!(report.compared[0].baseline_ns, 50);
+        assert_eq!(report.compared[0].fresh_ns, 60);
+        assert!((report.compared[0].ratio - 1.2).abs() < 1e-9);
+        assert!(report.passes(2.0));
+        // Conversely a genuine minimum regression fails even when the
+        // mean stays flat.
+        let regressed = vec![BenchRecord {
+            name: "g/noisy".to_string(),
+            mean_ns: 110,
+            min_ns: 105,
+            samples: 10,
+        }];
+        assert!(!gate(&baseline, &regressed, "g/").passes(2.0));
+    }
+
+    #[test]
+    fn zero_minimum_falls_back_to_the_mean() {
+        // Legacy ledgers (or sub-nanosecond entries) record min_ns = 0;
+        // the gate then compares means instead of treating the entry as
+        // free.
+        let baseline = vec![BenchRecord {
+            name: "g/legacy".to_string(),
+            mean_ns: 100,
+            min_ns: 0,
+            samples: 10,
+        }];
+        let fresh = vec![BenchRecord {
+            name: "g/legacy".to_string(),
+            mean_ns: 250,
+            min_ns: 0,
+            samples: 10,
+        }];
+        let report = gate(&baseline, &fresh, "g/");
+        assert_eq!(report.compared[0].baseline_ns, 100);
+        assert_eq!(report.compared[0].fresh_ns, 250);
+        assert!(!report.passes(2.0));
+    }
+
+    #[test]
     fn comparison_display_is_informative() {
         let comparison = Comparison {
             name: "g/x".to_string(),
-            baseline_mean_ns: 100,
-            fresh_mean_ns: 250,
+            baseline_ns: 100,
+            fresh_ns: 250,
             ratio: 2.5,
         };
         let text = comparison.to_string();

@@ -3,7 +3,7 @@
 
 use crate::log::{DiagnosisLog, DiagnosisRecord};
 use march::DataBackground;
-use sram_model::{AccessProfile, Address, DataWord, MemConfig, MemoryId};
+use sram_model::{AccessProfile, Address, DataWord, FailingBits, MemConfig, MemoryId};
 use std::collections::BTreeMap;
 
 /// The global address trigger of the shared controller.
@@ -277,7 +277,7 @@ impl ComparatorArray {
         element: &str,
         expected: &DataWord,
         observed: &DataWord,
-    ) -> Vec<usize> {
+    ) -> FailingBits {
         let failing = expected.mismatches(observed);
         if !failing.is_empty() {
             self.log.push(DiagnosisRecord {

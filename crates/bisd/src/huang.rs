@@ -384,7 +384,7 @@ fn located_record(
         element: element.label.clone().unwrap_or_else(|| "M1".to_string()),
         expected,
         observed,
-        failing_bits: vec![bit],
+        failing_bits: vec![bit].into(),
     }
 }
 

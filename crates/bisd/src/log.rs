@@ -1,7 +1,7 @@
 //! Diagnosis records and the per-run diagnosis log.
 
 use march::DataBackground;
-use sram_model::{Address, DataWord, MemoryId};
+use sram_model::{Address, DataWord, FailingBits, MemoryId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -48,7 +48,7 @@ pub struct DiagnosisRecord {
     /// Observed read data.
     pub observed: DataWord,
     /// Failing bit positions.
-    pub failing_bits: Vec<usize>,
+    pub failing_bits: FailingBits,
 }
 
 impl DiagnosisRecord {
@@ -158,7 +158,7 @@ mod tests {
             element: "M1".to_string(),
             expected: DataWord::zero(4),
             observed: DataWord::splat(true, 4),
-            failing_bits: bits,
+            failing_bits: bits.into(),
         }
     }
 

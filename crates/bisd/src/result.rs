@@ -126,7 +126,7 @@ mod tests {
             element: "M2".to_string(),
             expected: DataWord::zero(4),
             observed: DataWord::from_u64(0b1000, 4),
-            failing_bits: vec![3],
+            failing_bits: vec![3].into(),
         });
         let result = DiagnosisResult {
             scheme: "demo".to_string(),

@@ -57,6 +57,7 @@ fn esram(args: &[&str], knobs: &[(&str, &str)]) -> Output {
         "ESRAM_DIAG_THREADS",
         "ESRAM_DIAG_SCHED",
         "ESRAM_DIAG_KERNEL",
+        "ESRAM_FAULTSIM_KERNEL",
         "ESRAM_SPEC_OUT",
     ] {
         command.env_remove(knob);
@@ -164,11 +165,34 @@ fn reports_are_byte_identical_across_threads_and_strategies() {
 }
 
 #[test]
+fn reports_are_byte_identical_across_faultsim_kernels() {
+    // The committed goldens were produced under the default (lane)
+    // fault-sim kernel; pinning the frozen per-memory oracle — or the
+    // default explicitly — must not move a byte. This is the CLI edge
+    // of the lane-kernel equivalence contract (the CI determinism
+    // matrix sweeps the same knob across the whole suite).
+    let baseline = std::fs::read_to_string(golden("case_study_512x100")).unwrap();
+    for kernel in ["lanes", "permem"] {
+        let (output, report) = run_spec(
+            "case_study_512x100.toml",
+            &format!("faultsim-{kernel}"),
+            &[("ESRAM_FAULTSIM_KERNEL", kernel)],
+        );
+        assert!(output.status.success(), "run ({kernel}) failed: {output:?}");
+        assert_eq!(
+            report, baseline,
+            "report bytes differ under the {kernel} fault-sim kernel"
+        );
+    }
+}
+
+#[test]
 fn malformed_specs_fail_with_span_bearing_errors() {
     for spec in [
         "invalid/bad_geometry.toml",
         "invalid/unknown_scheme.toml",
         "invalid/trailing_garbage.toml",
+        "invalid/unknown_faultsim_kernel.toml",
     ] {
         let output = esram(&["compile", example(spec).to_str().unwrap()], &[]);
         assert_eq!(output.status.code(), Some(1), "{spec} must exit 1: {output:?}");

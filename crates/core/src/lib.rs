@@ -73,5 +73,7 @@ pub use bisd::{
 };
 pub use fault_models::{DefectProfile, FaultClass, FaultInjector, FaultList, FaultUniverse, MemoryFault};
 pub use march::shard::RunToken;
-pub use march::{algorithms, DataBackground, MarchSchedule, MarchTest, ShardPlan, ShardStrategy};
+pub use march::{
+    algorithms, DataBackground, FaultSimKernel, MarchSchedule, MarchTest, ShardPlan, ShardStrategy,
+};
 pub use sram_model::{Address, DataWord, MemConfig, MemoryId, Sram};

@@ -18,9 +18,11 @@
 //! job executes it with `cargo test --release -- --ignored`.
 
 use esram_diag::{
-    defect_rate_sweep, AnalyticModel, DiagnosisScheme, DrfMode, FastScheme, HuangScheme, MemoryId,
-    MemoryUnderDiagnosis,
+    defect_rate_sweep, AnalyticModel, DiagnosisScheme, DrfMode, FastScheme, FaultSimKernel, HuangScheme,
+    MemoryId, MemoryUnderDiagnosis,
 };
+use fault_models::{DefectProfile, FaultInjector};
+use march::{algorithms, FaultSimulator};
 use testutil::{stuck_at_population, SEEDS};
 
 const CLOCK_NS: f64 = 10.0;
@@ -123,5 +125,30 @@ fn benchmark_scale_defect_rate_sweep_tracks_the_paper_k_estimate() {
             "both reduction factors must be positive at rate {rate}"
         );
         previous_reduction = reduction;
+    }
+}
+
+/// The sweep's March-level fault simulation under the default lane
+/// kernel must be indistinguishable — outcome for outcome, failure
+/// record for failure record — from the frozen per-memory oracle at
+/// every rate of the grid. This is the defect-rate-sweep edge of the
+/// lane-kernel equivalence contract: the property suite proves it on
+/// random universes, this test pins it on the exact benchmark-scale
+/// populations the sweep simulates.
+#[test]
+#[ignore = "benchmark-scale: run in release mode (CI release job, --ignored)"]
+fn benchmark_scale_sweep_universes_agree_across_fault_sim_kernels() {
+    let config = testutil::benchmark_geometry();
+    let schedule = algorithms::march_cw(config.width());
+    let lanes = FaultSimulator::new(config).with_kernel(FaultSimKernel::Lanes);
+    let permem = FaultSimulator::new(config).with_kernel(FaultSimKernel::PerMemory);
+    for &rate in &RATE_GRID {
+        let universe = FaultInjector::with_seed(SEEDS[2]).generate(config, &DefectProfile::date2005(rate));
+        let lane_outcomes = lanes.simulate_universe(&schedule, &universe);
+        let permem_outcomes = permem.simulate_universe(&schedule, &universe);
+        assert_eq!(
+            lane_outcomes, permem_outcomes,
+            "lane and per-memory kernels disagree on the rate-{rate} sweep universe"
+        );
     }
 }

@@ -15,6 +15,11 @@
 //! [`crate::calibrate::CALIB_ENV`], and `bisd`'s `ESRAM_DIAG_KERNEL`);
 //! they all parse through [`parse_knob`] / [`read_knob`] so a new knob
 //! cannot re-introduce a bespoke (and subtly different) fallback path.
+//! The march fault-simulation kernel selector ([`FAULTSIM_KERNEL_ENV`])
+//! is the exception that proves the rule: its enum lives *here* rather
+//! than in `march` so the ambient `env_guard` suite (which cannot
+//! depend on `march`) can validate a CI matrix row's value before any
+//! job runs under it.
 
 use std::collections::BTreeSet;
 use std::sync::Mutex;
@@ -41,11 +46,74 @@ pub fn parse_spec_out(raw: &str) -> Option<String> {
 /// [`read_knob`]: unset (or set-but-blank, after a warning) yields
 /// `None` and the caller falls back to its own default.
 pub fn spec_out_from_env() -> Option<String> {
-    read_knob(
-        SPEC_OUT_ENV,
-        parse_spec_out,
-        || "the spec's own report directory".to_string(),
-    )
+    read_knob(SPEC_OUT_ENV, parse_spec_out, || {
+        "the spec's own report directory".to_string()
+    })
+}
+
+/// Environment variable selecting the march fault-simulation kernel.
+///
+/// `lanes` (the default) simulates up to 64 compatible faults per
+/// march-schedule replay by packing one faulty machine into each bit
+/// lane of a `u64`; `permem` is the original one-memory-per-fault path,
+/// retained wholesale as the equivalence oracle. The two kernels are
+/// byte-identical on every outcome; the knob only moves work between
+/// them.
+pub const FAULTSIM_KERNEL_ENV: &str = "ESRAM_FAULTSIM_KERNEL";
+
+/// Which fault-simulation kernel `march::FaultSimulator` runs.
+///
+/// The enum lives in `esram-exec` (not `march`) so the ambient
+/// `env_guard` suite can parse [`FAULTSIM_KERNEL_ENV`] without a
+/// dependency cycle; `march` re-exports it as its own public knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultSimKernel {
+    /// Lane-parallel kernel: up to 64 faulty machines per schedule
+    /// replay, one per bit lane of a `u64`, with per-fault fallback for
+    /// the classes the lane transposition cannot express.
+    #[default]
+    Lanes,
+    /// The original per-fault kernel: one full (row-pruned) schedule
+    /// replay on a dedicated memory per fault. Kept as the equivalence
+    /// oracle and frozen performance comparator.
+    PerMemory,
+}
+
+impl FaultSimKernel {
+    /// Parses a kernel name, accepting the spellings used in CI job
+    /// names and on the command line. Unknown values yield `None` so
+    /// [`read_knob`] can warn and fall back.
+    pub fn parse(raw: &str) -> Option<Self> {
+        match raw.trim().to_ascii_lowercase().as_str() {
+            "lanes" | "lane" | "lane-parallel" => Some(FaultSimKernel::Lanes),
+            "permem" | "per-memory" | "permemory" => Some(FaultSimKernel::PerMemory),
+            _ => None,
+        }
+    }
+
+    /// Reads [`FAULTSIM_KERNEL_ENV`] through the warn-once knob
+    /// discipline; unset or malformed values yield the default
+    /// (lane-parallel) kernel.
+    pub fn from_env() -> Self {
+        read_knob(FAULTSIM_KERNEL_ENV, Self::parse, || {
+            format!("the default kernel ({})", FaultSimKernel::default())
+        })
+        .unwrap_or_default()
+    }
+
+    /// Every kernel, for exhaustive equivalence sweeps.
+    pub fn all() -> [FaultSimKernel; 2] {
+        [FaultSimKernel::Lanes, FaultSimKernel::PerMemory]
+    }
+}
+
+impl std::fmt::Display for FaultSimKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultSimKernel::Lanes => write!(f, "lanes"),
+            FaultSimKernel::PerMemory => write!(f, "permem"),
+        }
+    }
 }
 
 /// A set-but-malformed environment knob and the value that was used in
@@ -160,14 +228,42 @@ mod tests {
         assert_eq!(parse_spec_out(""), None);
         assert_eq!(parse_spec_out("   "), None);
         // And through the shared parse path the rejection is reported.
-        let (value, report) = parse_knob(
-            SPEC_OUT_ENV,
-            Some(""),
-            parse_spec_out,
-            || "the spec's own report directory".to_string(),
-        );
+        let (value, report) = parse_knob(SPEC_OUT_ENV, Some(""), parse_spec_out, || {
+            "the spec's own report directory".to_string()
+        });
         assert_eq!(value, None::<String>);
         assert!(report.is_some());
+    }
+
+    #[test]
+    fn faultsim_kernel_parses_every_supported_spelling() {
+        for kernel in FaultSimKernel::all() {
+            // The canonical Display spelling round-trips.
+            assert_eq!(FaultSimKernel::parse(&kernel.to_string()), Some(kernel));
+        }
+        assert_eq!(FaultSimKernel::parse(" LANES "), Some(FaultSimKernel::Lanes));
+        assert_eq!(
+            FaultSimKernel::parse("lane-parallel"),
+            Some(FaultSimKernel::Lanes)
+        );
+        assert_eq!(
+            FaultSimKernel::parse("per-memory"),
+            Some(FaultSimKernel::PerMemory)
+        );
+        assert_eq!(FaultSimKernel::parse("lnaes"), None);
+        assert_eq!(FaultSimKernel::parse(""), None);
+        assert_eq!(FaultSimKernel::default(), FaultSimKernel::Lanes);
+    }
+
+    #[test]
+    fn faultsim_kernel_malformed_value_reports_fallback() {
+        let (value, report) = parse_knob(FAULTSIM_KERNEL_ENV, Some("lnaes"), FaultSimKernel::parse, || {
+            format!("the default kernel ({})", FaultSimKernel::default())
+        });
+        assert_eq!(value, None::<FaultSimKernel>);
+        let report = report.expect("malformed kernel must be reported");
+        assert_eq!(report.variable, FAULTSIM_KERNEL_ENV);
+        assert!(report.fallback.contains("lanes"));
     }
 
     #[test]

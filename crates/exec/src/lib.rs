@@ -67,7 +67,9 @@ pub mod plan;
 pub mod token;
 
 pub use calibrate::{CalibrationMode, CostCalibration, CostDomain, DomainWeights, CALIB_ENV};
-pub use env::{parse_spec_out, spec_out_from_env, EnvFallback, SPEC_OUT_ENV};
+pub use env::{
+    parse_spec_out, spec_out_from_env, EnvFallback, FaultSimKernel, FAULTSIM_KERNEL_ENV, SPEC_OUT_ENV,
+};
 pub use error::{panic_payload, ExecError, ItemFault};
 pub use executor::WorkCost;
 pub use failpoint::{FailAction, Failpoint, FailpointGuard, FailpointSet, InjectedFailure, FAILPOINTS_ENV};

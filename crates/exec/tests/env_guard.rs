@@ -6,8 +6,8 @@
 //! per configuration before the determinism suites.
 
 use esram_exec::{
-    parse_spec_out, CalibrationMode, FailpointSet, ShardPlan, CALIB_ENV, FAILPOINTS_ENV, SCHED_ENV,
-    SPEC_OUT_ENV, THREADS_ENV,
+    parse_spec_out, CalibrationMode, FailpointSet, FaultSimKernel, ShardPlan, CALIB_ENV, FAILPOINTS_ENV,
+    FAULTSIM_KERNEL_ENV, SCHED_ENV, SPEC_OUT_ENV, THREADS_ENV,
 };
 
 #[test]
@@ -46,6 +46,21 @@ fn ambient_spec_out_knob_is_well_formed() {
             parse_spec_out(&raw).is_some(),
             "malformed {SPEC_OUT_ENV}='{raw}' in the environment \
              (the run would silently fall back to the spec's own report directory)"
+        );
+    }
+}
+
+#[test]
+fn ambient_faultsim_kernel_knob_is_well_formed() {
+    // The determinism matrix's kernel rows: a typo'd entry like
+    // `ESRAM_FAULTSIM_KERNEL=lnaes` must fail loudly instead of
+    // silently sweeping the default lane kernel under a permem label.
+    if let Ok(raw) = std::env::var(FAULTSIM_KERNEL_ENV) {
+        assert!(
+            FaultSimKernel::parse(&raw).is_some(),
+            "malformed {FAULTSIM_KERNEL_ENV}='{raw}' in the environment \
+             (the run would silently fall back to {})",
+            FaultSimKernel::default()
         );
     }
 }

@@ -10,7 +10,7 @@
 use crate::background::{BackgroundPatterns, DataBackground};
 use crate::ops::{AddressOrder, MarchOp, MarchTest};
 use crate::schedule::{MarchSchedule, SchedulePatterns};
-use sram_model::{Address, DataWord, MemError, MemoryPort};
+use sram_model::{Address, DataWord, FailingBits, MemError, MemoryPort};
 
 /// One observed read mismatch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,7 +28,7 @@ pub struct FailureRecord {
     /// Observed read data.
     pub observed: DataWord,
     /// Bit positions that mismatch.
-    pub failing_bits: Vec<usize>,
+    pub failing_bits: FailingBits,
     /// Data background active when the mismatch was observed.
     pub background: DataBackground,
 }

@@ -10,7 +10,8 @@
 //! fault classes, and only the NWRTM-merged variant reaches
 //! data-retention faults.
 //!
-//! Whole-universe simulation is *batched*, *pruned* and *sharded*:
+//! Whole-universe simulation is *batched*, *pruned*, *lane-parallel*
+//! and *sharded*:
 //!
 //! * **Batched** — one reusable packed memory is `reset` and
 //!   re-injected per fault, the schedule's pattern words are built once
@@ -31,23 +32,38 @@
 //!   sweep, so outcomes are observationally identical either way —
 //!   which the one-off [`FaultSimulator::simulate_fault_schedule`]
 //!   oracle and the sharded-determinism suite assert.
+//! * **Lane-parallel** — under the default [`FaultSimKernel::Lanes`]
+//!   kernel, up to 64 compatible faults share one schedule replay: each
+//!   fault becomes a bit lane of a [`LanePlanes`] memory and the
+//!   schedule is replayed once over the union of the lanes' pruned
+//!   rows, with a nonzero XOR limb flagging exactly the deviating
+//!   lanes. Single-row cell classes chunk freely; coupling faults batch
+//!   only with pairwise-disjoint victim+aggressor row sets (so every
+//!   aggressor stays broadcast); stuck-open, decoder and failing-golden
+//!   faults fall back to the per-fault path, which
+//!   [`FaultSimKernel::PerMemory`] retains wholesale as the equivalence
+//!   oracle ([`crate::FAULTSIM_KERNEL_ENV`]). Outcomes are unpacked back into
+//!   exact universe order, so the kernels are byte-identical — the
+//!   `lane_kernel_equivalence` suite proves it per fault class.
 //! * **Sharded** — the universe runs on the deterministic executor
-//!   ([`ShardPlan::map_slots`]): one reusable `Sram` per worker, a
-//!   per-fault-class cost model (rows swept: 1 for pruned single-row
-//!   classes, 2 for coupling, the whole address space for fallback
-//!   classes) steering cost-weighted chunking and block-stealing, and
-//!   outcomes merged back into exact universe order for every strategy
-//!   and worker count; per-shard [`CoverageReport`]s fold
-//!   associatively.
+//!   ([`ShardPlan::map_slots`]): the shardable items are the lane
+//!   batches plus the per-fault singles (or every fault alone under
+//!   the per-memory kernel), one reusable `Sram` per worker, a
+//!   per-item cost model (rows swept: 1 for pruned single-row
+//!   classes, 2 for coupling, the union row count for a lane batch,
+//!   the whole address space for fallback classes) steering
+//!   cost-weighted chunking and block-stealing, and outcomes merged
+//!   back into exact universe order for every strategy and worker
+//!   count; per-shard [`CoverageReport`]s fold associatively.
 
 use crate::background::DataBackground;
 use crate::coverage::CoverageReport;
-use crate::engine::{MarchRunner, RunOutcome};
-use crate::ops::MarchTest;
+use crate::engine::{FailureRecord, MarchRunner, RunOutcome};
+use crate::ops::{AddressOrder, MarchOp, MarchTest};
 use crate::schedule::{MarchSchedule, SchedulePatterns, SchedulePhase};
-use crate::shard::{failpoint, CostCalibration, CostDomain, ExecError, RunToken, ShardPlan};
+use crate::shard::{failpoint, CostCalibration, CostDomain, ExecError, FaultSimKernel, RunToken, ShardPlan};
 use fault_models::{FaultList, MemoryFault};
-use sram_model::{Address, CellFault, MemConfig, Sram};
+use sram_model::{Address, CellFault, FailingBits, LanePlanes, MemConfig, Sram};
 use std::collections::BTreeMap;
 
 /// Outcome of simulating one fault instance against one programme.
@@ -67,6 +83,36 @@ pub struct FaultSimOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultSimulator {
     config: MemConfig,
+    kernel: FaultSimKernel,
+}
+
+/// One ≤64-lane batch of compatible faults sharing a schedule replay:
+/// the universe indices packed into the lanes (lane *i* simulates
+/// `lanes[i]`) and the ascending union of their pruned row sets.
+#[derive(Debug, Clone)]
+struct LaneBatch {
+    lanes: Vec<usize>,
+    rows: Vec<Address>,
+}
+
+/// One shardable work item of a lane-kernel universe run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LaneWork {
+    /// A lane batch (index into [`LanePlan::batches`]).
+    Batch(usize),
+    /// A per-fault fallback (universe index).
+    Single(usize),
+}
+
+/// The lane batcher's output: a partition of the universe into lane
+/// batches and per-fault singles. A pure function of the universe, the
+/// golden verdict and the kernel — never of plan, strategy or worker
+/// count — so the executor shards identical items in every
+/// configuration.
+#[derive(Debug, Clone)]
+struct LanePlan {
+    batches: Vec<LaneBatch>,
+    work: Vec<LaneWork>,
 }
 
 /// One independent fault-simulation job of a batched multi-universe
@@ -99,9 +145,27 @@ struct UniversePrep<'a> {
 }
 
 impl FaultSimulator {
-    /// Creates a simulator for the given geometry.
+    /// Creates a simulator for the given geometry, reading the
+    /// fault-simulation kernel from [`crate::FAULTSIM_KERNEL_ENV`] (default:
+    /// lane-parallel).
     pub fn new(config: MemConfig) -> Self {
-        FaultSimulator { config }
+        FaultSimulator {
+            config,
+            kernel: FaultSimKernel::from_env(),
+        }
+    }
+
+    /// Returns a copy of the simulator pinned to an explicit kernel,
+    /// ignoring the environment — how the equivalence suites and the
+    /// frozen benchmark comparator select the per-memory oracle.
+    pub fn with_kernel(mut self, kernel: FaultSimKernel) -> Self {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The kernel universe simulation runs under.
+    pub fn kernel(&self) -> FaultSimKernel {
+        self.kernel
     }
 
     /// Geometry the simulator builds memories with.
@@ -244,6 +308,166 @@ impl FaultSimulator {
         self.classify(fault, run)
     }
 
+    /// The lane batcher: partitions a universe into ≤64-lane batches
+    /// plus per-fault singles.
+    ///
+    /// * Single-row lane-expressible cell faults (stuck-at, transition,
+    ///   retention, read-disturb) chunk greedily in universe order —
+    ///   lanes are independent, so row overlap between them is fine.
+    /// * Coupling faults with distinct victim/aggressor cells batch
+    ///   first-fit into coupling-only batches whose victim+aggressor
+    ///   row sets are pairwise disjoint across lanes, which keeps every
+    ///   aggressor cell broadcast (fault-free in all lanes).
+    /// * Everything else — stuck-open, decoder, self-coupled cells —
+    ///   and *every* fault when the golden run failed or the kernel is
+    ///   [`FaultSimKernel::PerMemory`] stays a per-fault single.
+    ///
+    /// The work list orders batches first (construction order), then
+    /// singles in universe order; the scatter back into universe-order
+    /// slots makes the partition order unobservable in the output.
+    fn lane_plan(&self, golden_passed: bool, universe: &FaultList) -> LanePlan {
+        let faults = universe.as_slice();
+        if self.kernel == FaultSimKernel::PerMemory || !golden_passed {
+            return LanePlan {
+                batches: Vec::new(),
+                work: (0..faults.len()).map(LaneWork::Single).collect(),
+            };
+        }
+        let mut batches: Vec<LaneBatch> = Vec::new();
+        let mut singles: Vec<usize> = Vec::new();
+        // Pass 1: single-row cell classes, chunked 64 at a time.
+        let mut current = LaneBatch {
+            lanes: Vec::new(),
+            rows: Vec::new(),
+        };
+        let mut current_rows: Vec<Address> = Vec::new();
+        // Pass 2 accumulators: open coupling batches with their row sets.
+        let mut coupling: Vec<(LaneBatch, Vec<Address>)> = Vec::new();
+        for (index, fault) in faults.iter().enumerate() {
+            let (coord, cell_fault) = match fault {
+                MemoryFault::Cell { coord, fault } if LanePlanes::supports(*coord, fault) => (coord, fault),
+                _ => {
+                    singles.push(index);
+                    continue;
+                }
+            };
+            if let CellFault::Coupling { aggressor, .. } = cell_fault {
+                let mut rows = vec![coord.address, aggressor.address];
+                rows.sort_unstable();
+                rows.dedup();
+                let slot = coupling.iter_mut().find(|(batch, batch_rows)| {
+                    batch.lanes.len() < 64 && rows.iter().all(|row| !batch_rows.contains(row))
+                });
+                match slot {
+                    Some((batch, batch_rows)) => {
+                        batch.lanes.push(index);
+                        batch_rows.extend(rows);
+                    }
+                    None => coupling.push((
+                        LaneBatch {
+                            lanes: vec![index],
+                            rows: Vec::new(),
+                        },
+                        rows,
+                    )),
+                }
+            } else {
+                current.lanes.push(index);
+                current_rows.push(coord.address);
+                if current.lanes.len() == 64 {
+                    current.rows = sorted_distinct(std::mem::take(&mut current_rows));
+                    batches.push(std::mem::replace(
+                        &mut current,
+                        LaneBatch {
+                            lanes: Vec::new(),
+                            rows: Vec::new(),
+                        },
+                    ));
+                }
+            }
+        }
+        if !current.lanes.is_empty() {
+            current.rows = sorted_distinct(current_rows);
+            batches.push(current);
+        }
+        for (mut batch, rows) in coupling {
+            batch.rows = sorted_distinct(rows);
+            batches.push(batch);
+        }
+        let work = (0..batches.len())
+            .map(LaneWork::Batch)
+            .chain(singles.into_iter().map(LaneWork::Single))
+            .collect();
+        LanePlan { batches, work }
+    }
+
+    /// Simulates one lane batch: packs each fault into its lane of a
+    /// fresh [`LanePlanes`], replays the schedule once over the union
+    /// of the batch's pruned rows, and classifies each lane's outcome.
+    /// Returned outcomes parallel `batch.lanes`.
+    fn simulate_lane_batch(
+        &self,
+        prep: &UniversePrep<'_>,
+        universe: &FaultList,
+        batch: &LaneBatch,
+        scratch: &mut LaneScratch,
+    ) -> Vec<FaultSimOutcome> {
+        let mut planes = match scratch.planes.take() {
+            Some(mut planes) if planes.config() == self.config => {
+                planes.reset();
+                planes
+            }
+            _ => LanePlanes::new(self.config),
+        };
+        for (lane, &index) in batch.lanes.iter().enumerate() {
+            match &universe.as_slice()[index] {
+                MemoryFault::Cell { coord, fault } => planes.add_lane_fault(lane, *coord, fault),
+                MemoryFault::Decoder(_) => unreachable!("batcher routes decoder faults to singles"),
+            }
+        }
+        planes.freeze();
+        let (lane_failures, pause_ms) = run_schedule_lanes(
+            &mut planes,
+            prep.schedule,
+            &prep.patterns,
+            &batch.rows,
+            batch.lanes.len(),
+            scratch,
+        );
+        scratch.planes = Some(planes);
+        batch
+            .lanes
+            .iter()
+            .zip(lane_failures)
+            .map(|(&index, failures)| {
+                let run = RunOutcome {
+                    failures,
+                    // As in the per-fault pruned path, report the whole
+                    // memory's closed-form operation count.
+                    operations: prep.full_operations,
+                    pause_ms,
+                };
+                self.classify(&universe.as_slice()[index], run)
+            })
+            .collect()
+    }
+
+    /// Cost (row units) of one lane-kernel work item: a batch sweeps
+    /// the union of its lanes' rows once; a single costs what the
+    /// per-fault path charges it.
+    fn work_cost(
+        &self,
+        lane_plan: &LanePlan,
+        golden_passed: bool,
+        universe: &FaultList,
+        work: LaneWork,
+    ) -> u64 {
+        match work {
+            LaneWork::Batch(batch) => lane_plan.batches[batch].rows.len() as u64,
+            LaneWork::Single(index) => self.fault_cost(golden_passed, &universe.as_slice()[index]),
+        }
+    }
+
     fn classify(&self, fault: &MemoryFault, run: RunOutcome) -> FaultSimOutcome {
         let detected = !run.passed();
         let located = detected && self.locates(fault, &run);
@@ -265,13 +489,16 @@ impl FaultSimulator {
 
     /// Simulates every fault of a universe under an explicit shard plan.
     ///
-    /// The universe runs on the deterministic executor: each worker
-    /// owns one reusable packed memory (`reset` + inject per fault),
-    /// and the per-fault outcomes land in universe-order slots — so the
-    /// result is byte-identical to the sequential (1-thread) run for
-    /// every plan, strategy and worker count. Cost-aware strategies are
-    /// steered by [`FaultSimulator::fault_cost`], the rows a fault's
-    /// (possibly pruned) run will actually sweep.
+    /// The universe runs on the deterministic executor. Under the
+    /// per-memory kernel every fault is its own work item; under the
+    /// lane kernel the work items are the batcher's lane batches plus
+    /// the fallback singles, and batch outcomes are scattered back into
+    /// universe-order slots. Either way the result is byte-identical to
+    /// the sequential (1-thread) run for every kernel, plan, strategy
+    /// and worker count. Cost-aware strategies are steered by
+    /// [`FaultSimulator::fault_cost`] / the batch's union row count —
+    /// the rows each item's (possibly pruned) replay will actually
+    /// sweep.
     pub fn simulate_universe_with(
         &self,
         plan: ShardPlan,
@@ -279,13 +506,58 @@ impl FaultSimulator {
         universe: &FaultList,
     ) -> Vec<FaultSimOutcome> {
         let prep = self.prepare(schedule);
+        match self.kernel {
+            FaultSimKernel::PerMemory => self.simulate_universe_permem(plan, &prep, universe),
+            FaultSimKernel::Lanes => self.simulate_universe_lanes(plan, &prep, universe),
+        }
+    }
+
+    /// The per-memory kernel's universe run, retained wholesale as the
+    /// equivalence oracle: one work item per fault.
+    fn simulate_universe_permem(
+        &self,
+        plan: ShardPlan,
+        prep: &UniversePrep<'_>,
+        universe: &FaultList,
+    ) -> Vec<FaultSimOutcome> {
         let calibration = CostCalibration::current();
         plan.with_domain(CostDomain::FaultSim).map_slots(
             universe.as_slice(),
             |_, fault| calibration.cost(CostDomain::FaultSim, self.fault_cost(prep.golden_passed, fault)),
             || Sram::new(self.config),
-            |sram, _, fault| self.simulate_fault_batched(sram, &prep, fault),
+            |sram, _, fault| self.simulate_fault_batched(sram, prep, fault),
         )
+    }
+
+    /// The lane kernel's universe run: shard the batcher's work items,
+    /// then scatter batch outcomes back into exact universe order.
+    fn simulate_universe_lanes(
+        &self,
+        plan: ShardPlan,
+        prep: &UniversePrep<'_>,
+        universe: &FaultList,
+    ) -> Vec<FaultSimOutcome> {
+        let lane_plan = self.lane_plan(prep.golden_passed, universe);
+        let calibration = CostCalibration::current();
+        let item_outcomes = plan.with_domain(CostDomain::FaultSim).map_slots(
+            &lane_plan.work,
+            |_, &work| {
+                calibration.cost(
+                    CostDomain::FaultSim,
+                    self.work_cost(&lane_plan, prep.golden_passed, universe, work),
+                )
+            },
+            || (Sram::new(self.config), LaneScratch::default()),
+            |(sram, scratch), _, &work| match work {
+                LaneWork::Batch(batch) => {
+                    self.simulate_lane_batch(prep, universe, &lane_plan.batches[batch], scratch)
+                }
+                LaneWork::Single(index) => {
+                    vec![self.simulate_fault_batched(sram, prep, &universe.as_slice()[index])]
+                }
+            },
+        );
+        scatter_lane_outcomes(&lane_plan, universe.len(), item_outcomes)
     }
 
     /// Fallible [`FaultSimulator::simulate_universe_with`]: the same
@@ -295,6 +567,13 @@ impl FaultSimulator {
     /// teardown. The `fault.sim` failpoint (qualified by the flat fault
     /// `index`) fires inside each fault's work, so chaos suites can
     /// inject deterministic panics and delays into the simulation loop.
+    ///
+    /// This entry point always runs the per-fault path, under every
+    /// kernel: cancellation, deadline and failpoint semantics stay
+    /// defined at *fault* granularity (`fault.sim@index=N` trips inside
+    /// fault `N` and a token stop loses at most one fault's work, not a
+    /// 64-lane batch). The kernels are outcome-equivalent, so this
+    /// choice is unobservable in the returned data.
     ///
     /// # Errors
     ///
@@ -322,9 +601,10 @@ impl FaultSimulator {
     }
 
     /// Simulates several independent (simulator, schedule, universe)
-    /// jobs in **one** executor run: every job's faults are flattened
-    /// into a single global work list, partitioned by the active
-    /// calibrated cost model across *all* jobs at once, and the
+    /// jobs in **one** executor run: every job's work items (lane
+    /// batches plus fallback singles, per that job's kernel) are
+    /// flattened into a single global work list, partitioned by the
+    /// active calibrated cost model across *all* jobs at once, and the
     /// outcomes are demultiplexed back per job in exact universe order.
     ///
     /// Each per-job outcome vector is byte-identical to what
@@ -346,40 +626,69 @@ impl FaultSimulator {
             return Vec::new();
         }
         let preps: Vec<UniversePrep<'_>> = jobs.iter().map(|job| job.sim.prepare(job.schedule)).collect();
-        let flat: Vec<(usize, usize)> = jobs
+        // Each job batches under its own simulator's kernel, so a fleet
+        // can mix lane-kernel and per-memory jobs; the flattened work
+        // list interleaves every job's batches and singles.
+        let lane_plans: Vec<LanePlan> = jobs
+            .iter()
+            .zip(&preps)
+            .map(|(job, prep)| job.sim.lane_plan(prep.golden_passed, job.universe))
+            .collect();
+        let flat: Vec<(usize, LaneWork)> = lane_plans
             .iter()
             .enumerate()
-            .flat_map(|(job_index, job)| (0..job.universe.len()).map(move |fault| (job_index, fault)))
+            .flat_map(|(job_index, lane_plan)| lane_plan.work.iter().map(move |&work| (job_index, work)))
             .collect();
         let calibration = CostCalibration::current();
         let outcomes = plan.with_domain(CostDomain::FaultSim).map_slots(
             &flat,
-            |_, &(job, fault)| {
-                let fault = &jobs[job].universe.as_slice()[fault];
+            |_, &(job, work)| {
                 calibration.cost(
                     CostDomain::FaultSim,
-                    jobs[job].sim.fault_cost(preps[job].golden_passed, fault),
+                    jobs[job].sim.work_cost(
+                        &lane_plans[job],
+                        preps[job].golden_passed,
+                        jobs[job].universe,
+                        work,
+                    ),
                 )
             },
             // Jobs at different geometries need different scratch
             // memories; each worker keeps one per geometry it meets.
-            BTreeMap::<(u64, usize), Sram>::new,
-            |srams, _, &(job, fault)| {
+            || (BTreeMap::<(u64, usize), Sram>::new(), LaneScratch::default()),
+            |(srams, scratch), _, &(job, work)| {
                 let sim = &jobs[job].sim;
-                let sram = srams
-                    .entry((sim.config.words(), sim.config.width()))
-                    .or_insert_with(|| Sram::new(sim.config));
-                sim.simulate_fault_batched(sram, &preps[job], &jobs[job].universe.as_slice()[fault])
+                match work {
+                    LaneWork::Batch(batch) => sim.simulate_lane_batch(
+                        &preps[job],
+                        jobs[job].universe,
+                        &lane_plans[job].batches[batch],
+                        scratch,
+                    ),
+                    LaneWork::Single(index) => {
+                        let sram = srams
+                            .entry((sim.config.words(), sim.config.width()))
+                            .or_insert_with(|| Sram::new(sim.config));
+                        vec![sim.simulate_fault_batched(
+                            sram,
+                            &preps[job],
+                            &jobs[job].universe.as_slice()[index],
+                        )]
+                    }
+                }
             },
         );
-        let mut per_job: Vec<Vec<FaultSimOutcome>> = jobs
-            .iter()
-            .map(|job| Vec::with_capacity(job.universe.len()))
-            .collect();
+        // Demultiplex the item outcomes per job, then scatter each
+        // job's batches back into its own exact universe order.
+        let mut per_job_items: Vec<Vec<Vec<FaultSimOutcome>>> = jobs.iter().map(|_| Vec::new()).collect();
         for (&(job, _), outcome) in flat.iter().zip(outcomes) {
-            per_job[job].push(outcome);
+            per_job_items[job].push(outcome);
         }
-        per_job
+        jobs.iter()
+            .zip(&lane_plans)
+            .zip(per_job_items)
+            .map(|((job, lane_plan), items)| scatter_lane_outcomes(lane_plan, job.universe.len(), items))
+            .collect()
     }
 
     /// Physical size of one fault's run: the number of rows its
@@ -404,12 +713,19 @@ impl FaultSimulator {
     }
 
     fn locates(&self, fault: &MemoryFault, run: &RunOutcome) -> bool {
+        // Membership checks against the first-detection-order site lists
+        // short-circuit over the raw records instead of materialising
+        // `failing_cells()` / `failing_addresses()`: a site is in the
+        // deduplicated list exactly when some record carries it.
         match fault {
             MemoryFault::Cell { coord, .. } => run
-                .failing_cells()
+                .failures
                 .iter()
-                .any(|(address, bit)| *address == coord.address && *bit == coord.bit),
-            MemoryFault::Decoder(decoder_fault) => run.failing_addresses().contains(&decoder_fault.address),
+                .any(|failure| failure.address == coord.address && failure.failing_bits.contains(&coord.bit)),
+            MemoryFault::Decoder(decoder_fault) => run
+                .failures
+                .iter()
+                .any(|failure| failure.address == decoder_fault.address),
         }
     }
 
@@ -456,6 +772,213 @@ impl FaultSimulator {
         }
         report
     }
+}
+
+/// Scatters per-item outcome vectors (one per [`LanePlan`] work item,
+/// in work order) back into exact universe order. Panics if the plan
+/// does not cover every fault exactly once — a batcher invariant.
+fn scatter_lane_outcomes(
+    lane_plan: &LanePlan,
+    universe_len: usize,
+    item_outcomes: Vec<Vec<FaultSimOutcome>>,
+) -> Vec<FaultSimOutcome> {
+    let mut slots: Vec<Option<FaultSimOutcome>> = (0..universe_len).map(|_| None).collect();
+    for (work, outcomes) in lane_plan.work.iter().zip(item_outcomes) {
+        match work {
+            LaneWork::Batch(batch) => {
+                for (&index, outcome) in lane_plan.batches[*batch].lanes.iter().zip(outcomes) {
+                    debug_assert!(slots[index].is_none(), "fault {index} covered twice");
+                    slots[index] = Some(outcome);
+                }
+            }
+            LaneWork::Single(index) => {
+                let outcome = outcomes
+                    .into_iter()
+                    .next()
+                    .expect("a single work item yields exactly one outcome");
+                debug_assert!(slots[*index].is_none(), "fault {index} covered twice");
+                slots[*index] = Some(outcome);
+            }
+        }
+    }
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("the lane plan covers every fault exactly once"))
+        .collect()
+}
+
+/// Ascending distinct row list for a restricted sweep.
+fn sorted_distinct(mut rows: Vec<Address>) -> Vec<Address> {
+    rows.sort_unstable();
+    rows.dedup();
+    rows
+}
+
+/// Replays a schedule once on a lane memory, restricted to `rows` —
+/// the lane-parallel mirror of the engine's restricted sweep
+/// ([`MarchRunner::run_schedule_rows`]): ascending elements visit the
+/// rows ascending, descending elements descending, retention pauses
+/// apply once per element before its sweep. Returns each lane's
+/// failure records (detection order, identical to what a per-fault
+/// restricted run over that lane's own rows would record) and the
+/// accrued pause time (identical for every lane).
+/// One deviating read of a lane-batch replay: enough context to
+/// rebuild, per lane, the exact failure record the lane's own per-fault
+/// run would have produced. Replay appends these to a flat log instead
+/// of materialising records inline — see [`run_schedule_lanes`].
+struct ReadEvent {
+    phase: u32,
+    element: u32,
+    op: u32,
+    /// The read's logical value (`r0` / `r1`); the expected word is
+    /// re-derived from the phase's background patterns in the
+    /// post-pass, keeping the event small and free of borrows.
+    value: bool,
+    address: Address,
+    /// Union of the lanes that deviated on this read.
+    lanes: u64,
+    /// This read's slice of the deviating `(bit, lane-mask)` pairs.
+    pairs_start: u32,
+    pairs_end: u32,
+}
+
+/// Per-worker scratch reused across lane batches so the replay log and
+/// its unpack buffers are allocated once per worker, not once per
+/// batch.
+#[derive(Default)]
+struct LaneScratch {
+    /// The reusable lane memory (rebuilt when the geometry changes,
+    /// reset otherwise).
+    planes: Option<LanePlanes>,
+    events: Vec<ReadEvent>,
+    pairs: Vec<(usize, u64)>,
+    deviations: Vec<(usize, u64)>,
+    lane_events: Vec<Vec<u32>>,
+}
+
+fn run_schedule_lanes(
+    planes: &mut LanePlanes,
+    schedule: &MarchSchedule,
+    patterns: &SchedulePatterns,
+    rows: &[Address],
+    lane_count: usize,
+    scratch: &mut LaneScratch,
+) -> (Vec<Vec<FailureRecord>>, f64) {
+    debug_assert!(
+        rows.windows(2).all(|pair| pair[0] < pair[1]),
+        "restricted rows must be ascending and distinct"
+    );
+    // Replay records nothing: deviating reads are appended to a flat
+    // log, and the failure records are materialised in a per-lane
+    // post-pass below. Building each lane's records contiguously
+    // instead of scattering pushes across up to 64 sinks inside the
+    // replay loop keeps the lane kernel's record cost near the
+    // straight-line `Vec<FailureRecord>` fill cost.
+    scratch.events.clear();
+    scratch.pairs.clear();
+    let mut pause_ms = 0.0;
+    for (phase_index, phase) in schedule.phases().iter().enumerate() {
+        let phase_patterns = patterns.phase(phase_index);
+        for (element_index, element) in phase.test.elements().iter().enumerate() {
+            // Pauses apply once per element, before its address sweep.
+            for op in &element.ops {
+                if let MarchOp::Pause(ms) = op {
+                    planes.elapse_retention(f64::from(*ms));
+                    pause_ms += f64::from(*ms);
+                }
+            }
+            let descending = matches!(element.order, AddressOrder::Descending);
+            for position in 0..rows.len() {
+                let address = if descending {
+                    rows[rows.len() - 1 - position]
+                } else {
+                    rows[position]
+                };
+                let row = address.index();
+                for (op_index, op) in element.ops.iter().enumerate() {
+                    match op {
+                        MarchOp::Pause(_) => {}
+                        MarchOp::Write(value) => {
+                            planes.write_row(address, phase_patterns.word(*value, row), false);
+                        }
+                        MarchOp::NwrcWrite(value) => {
+                            planes.write_row(address, phase_patterns.word(*value, row), true);
+                        }
+                        MarchOp::Read(value) => {
+                            let expected = phase_patterns.word(*value, row);
+                            scratch.deviations.clear();
+                            let lanes = planes.read_row(address, expected, &mut scratch.deviations);
+                            if lanes != 0 {
+                                let pairs_start = scratch.pairs.len() as u32;
+                                scratch.pairs.extend_from_slice(&scratch.deviations);
+                                scratch.events.push(ReadEvent {
+                                    phase: phase_index as u32,
+                                    element: element_index as u32,
+                                    op: op_index as u32,
+                                    value: *value,
+                                    address,
+                                    lanes,
+                                    pairs_start,
+                                    pairs_end: scratch.pairs.len() as u32,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // Bucket event indices by lane so each lane's build walks only its
+    // own events, not the whole log.
+    scratch.lane_events.iter_mut().for_each(Vec::clear);
+    scratch
+        .lane_events
+        .resize_with(lane_count.max(scratch.lane_events.len()), Vec::new);
+    for (index, event) in scratch.events.iter().enumerate() {
+        let mut lanes = event.lanes;
+        while lanes != 0 {
+            scratch.lane_events[lanes.trailing_zeros() as usize].push(index as u32);
+            lanes &= lanes - 1;
+        }
+    }
+    // Post-pass: unpack the log into the exact failure records each
+    // lane's own per-fault run would produce. The observed word is the
+    // expected word with the lane's deviating bits flipped; bits are
+    // logged ascending per read, matching `DataWord::mismatches` order.
+    let mut failures: Vec<Vec<FailureRecord>> = scratch.lane_events[..lane_count]
+        .iter()
+        .map(|events| Vec::with_capacity(events.len()))
+        .collect();
+    for (lane, sink) in failures.iter_mut().enumerate() {
+        let lane_bit = 1u64 << lane;
+        for &event_index in &scratch.lane_events[lane] {
+            let event = &scratch.events[event_index as usize];
+            let phase_index = event.phase as usize;
+            let expected = patterns
+                .phase(phase_index)
+                .word(event.value, event.address.index());
+            let event_pairs = &scratch.pairs[event.pairs_start as usize..event.pairs_end as usize];
+            let mut failing_bits = FailingBits::new();
+            let mut observed = expected.clone();
+            for &(bit, mask) in event_pairs {
+                if mask & lane_bit != 0 {
+                    failing_bits.push(bit);
+                    observed.set(bit, !expected.bit(bit));
+                }
+            }
+            sink.push(FailureRecord {
+                phase: phase_index,
+                element: event.element as usize,
+                op: event.op as usize,
+                address: event.address,
+                failing_bits,
+                expected: expected.clone(),
+                observed,
+                background: schedule.phases()[phase_index].background,
+            });
+        }
+    }
+    (failures, pause_ms)
 }
 
 #[cfg(test)]
@@ -581,6 +1104,91 @@ mod tests {
         for (fault, outcome) in universe.iter().zip(&batched) {
             let fresh = sim.simulate_fault_schedule(&schedule, fault);
             assert_eq!(&fresh, outcome, "batched outcome diverged for {fault}");
+        }
+    }
+
+    #[test]
+    fn lane_kernel_outcomes_equal_the_per_memory_oracle() {
+        // The heavyweight property sweep lives in the
+        // `lane_kernel_equivalence` integration suite; this is the
+        // in-crate smoke check over the full mixed universe.
+        let sim = FaultSimulator::new(config());
+        let universe = universe().date2005_full();
+        let schedule = algorithms::march_cw(4);
+        let lanes = sim
+            .with_kernel(FaultSimKernel::Lanes)
+            .simulate_universe(&schedule, &universe);
+        let permem = sim
+            .with_kernel(FaultSimKernel::PerMemory)
+            .simulate_universe(&schedule, &universe);
+        assert_eq!(lanes, permem);
+    }
+
+    #[test]
+    fn lane_plan_batches_singles_and_coupling_per_the_rules() {
+        let sim = FaultSimulator::new(config()).with_kernel(FaultSimKernel::Lanes);
+        let universe = universe().date2005_full();
+        let lane_plan = sim.lane_plan(true, &universe);
+        // Every fault is covered exactly once across batches + singles.
+        let mut covered = vec![0usize; universe.len()];
+        for work in &lane_plan.work {
+            match work {
+                LaneWork::Batch(batch) => {
+                    let batch = &lane_plan.batches[*batch];
+                    assert!(batch.lanes.len() <= 64);
+                    assert!(batch.rows.windows(2).all(|pair| pair[0] < pair[1]));
+                    for &index in &batch.lanes {
+                        covered[index] += 1;
+                    }
+                }
+                LaneWork::Single(index) => covered[*index] += 1,
+            }
+        }
+        assert!(covered.iter().all(|&count| count == 1));
+        // Stuck-open and decoder faults never enter a batch.
+        for work in &lane_plan.work {
+            if let LaneWork::Batch(batch) = work {
+                for &index in &lane_plan.batches[*batch].lanes {
+                    match &universe.as_slice()[index] {
+                        MemoryFault::Cell { fault, .. } => {
+                            assert!(!matches!(fault, CellFault::StuckOpen))
+                        }
+                        MemoryFault::Decoder(_) => panic!("decoder fault in a lane batch"),
+                    }
+                }
+            }
+        }
+        // A failing golden run forces everything to singles.
+        let unpruned = sim.lane_plan(false, &universe);
+        assert!(unpruned.batches.is_empty());
+        assert_eq!(unpruned.work.len(), universe.len());
+    }
+
+    #[test]
+    fn coupling_batches_have_pairwise_disjoint_row_sets() {
+        let sim = FaultSimulator::new(config()).with_kernel(FaultSimKernel::Lanes);
+        let coupling = universe().coupling();
+        let lane_plan = sim.lane_plan(true, &coupling);
+        for batch in &lane_plan.batches {
+            let mut seen_rows = Vec::new();
+            for &index in &batch.lanes {
+                let MemoryFault::Cell { coord, fault } = &coupling.as_slice()[index] else {
+                    panic!("coupling universe contains only cell faults");
+                };
+                let CellFault::Coupling { aggressor, .. } = fault else {
+                    panic!("coupling universe contains only coupling faults");
+                };
+                let mut rows = vec![coord.address, aggressor.address];
+                rows.sort_unstable();
+                rows.dedup();
+                for row in rows {
+                    assert!(
+                        !seen_rows.contains(&row),
+                        "row {row} shared across lanes in one batch"
+                    );
+                    seen_rows.push(row);
+                }
+            }
         }
     }
 

@@ -60,4 +60,4 @@ pub use engine::{FailureRecord, MarchRunner, RunOutcome};
 pub use fault_sim::{FaultSimOutcome, FaultSimulator, UniverseJob};
 pub use ops::{AddressOrder, MarchElement, MarchOp, MarchTest};
 pub use schedule::{MarchSchedule, SchedulePatterns, SchedulePhase};
-pub use shard::{ShardPlan, ShardStrategy};
+pub use shard::{FaultSimKernel, ShardPlan, ShardStrategy, FAULTSIM_KERNEL_ENV};

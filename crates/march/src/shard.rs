@@ -13,8 +13,8 @@
 pub use esram_exec::{
     block_ranges, cost_ranges, even_ranges, panic_payload, steal_schedule, CalibrationMode, CostCalibration,
     CostDomain, DomainWeights, EnvFallback, ExecError, FailAction, Failpoint, FailpointGuard, FailpointSet,
-    InjectedFailure, ItemFault, RunToken, ShardPlan, ShardStrategy, WorkCost, CALIB_ENV, DEFAULT_BLOCK_SIZE,
-    FAILPOINTS_ENV, SCHED_ENV, THREADS_ENV,
+    FaultSimKernel, InjectedFailure, ItemFault, RunToken, ShardPlan, ShardStrategy, WorkCost, CALIB_ENV,
+    DEFAULT_BLOCK_SIZE, FAILPOINTS_ENV, FAULTSIM_KERNEL_ENV, SCHED_ENV, THREADS_ENV,
 };
 
 pub use esram_exec::env::{parse_knob, read_knob};

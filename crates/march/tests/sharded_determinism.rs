@@ -12,8 +12,8 @@
 
 use fault_models::{FaultList, FaultUniverse, MemoryFault};
 use march::{
-    algorithms, AddressOrder, CoverageReport, DataBackground, FaultSimulator, MarchElement, MarchOp,
-    MarchSchedule, MarchTest, ShardPlan, ShardStrategy, UniverseJob,
+    algorithms, AddressOrder, CoverageReport, DataBackground, FaultSimKernel, FaultSimulator, MarchElement,
+    MarchOp, MarchSchedule, MarchTest, ShardPlan, ShardStrategy, UniverseJob,
 };
 use proptest::prelude::*;
 use sram_model::cell::CellCoord;
@@ -82,6 +82,82 @@ fn outcomes_are_identical_for_every_strategy_and_block_size() {
                 let sharded = sim.simulate_universe_with(plan, &schedule, &universe);
                 assert_eq!(sharded, sequential, "outcomes diverged under {plan}");
             }
+        }
+    }
+}
+
+#[test]
+fn kernels_agree_under_every_strategy_and_thread_count() {
+    // The full kernel × strategy × thread-count matrix: both fault-sim
+    // kernels must produce the per-memory sequential baseline byte for
+    // byte, whatever the sharding. The mixed universe keeps lane
+    // batches, coupling batches and per-fault fallback singles all in
+    // play at once.
+    let universe = mixed_universe();
+    let schedule = nwrtm_schedule();
+    let baseline = FaultSimulator::new(config())
+        .with_kernel(FaultSimKernel::PerMemory)
+        .simulate_universe_with(ShardPlan::sequential(), &schedule, &universe);
+    for kernel in FaultSimKernel::all() {
+        let sim = FaultSimulator::new(config()).with_kernel(kernel);
+        for strategy in ShardStrategy::all() {
+            for threads in [1, 2, 7, 32] {
+                let plan = ShardPlan::with_threads(threads).with_strategy(strategy);
+                let outcomes = sim.simulate_universe_with(plan, &schedule, &universe);
+                assert_eq!(
+                    outcomes, baseline,
+                    "kernel {kernel} diverged from the per-memory sequential baseline under {plan}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fleet_runs_agree_between_kernels() {
+    // The flattened multi-universe path must demultiplex identically
+    // whichever kernel each job's simulator carries — including a fleet
+    // mixing kernels across jobs.
+    let config_b = MemConfig::new(32, 4).unwrap();
+    let schedule = nwrtm_schedule();
+    let universe_a = mixed_universe();
+    let universe_b = FaultUniverse::new(config_b).date2005_baseline();
+    let baseline: Vec<Vec<_>> = [
+        (FaultSimulator::new(config()), &universe_a),
+        (FaultSimulator::new(config_b), &universe_b),
+    ]
+    .iter()
+    .map(|(sim, universe)| {
+        sim.with_kernel(FaultSimKernel::PerMemory).simulate_universe_with(
+            ShardPlan::sequential(),
+            &schedule,
+            universe,
+        )
+    })
+    .collect();
+    for (kernel_a, kernel_b) in [
+        (FaultSimKernel::Lanes, FaultSimKernel::Lanes),
+        (FaultSimKernel::PerMemory, FaultSimKernel::PerMemory),
+        (FaultSimKernel::Lanes, FaultSimKernel::PerMemory),
+    ] {
+        let jobs = [
+            UniverseJob {
+                sim: FaultSimulator::new(config()).with_kernel(kernel_a),
+                schedule: &schedule,
+                universe: &universe_a,
+            },
+            UniverseJob {
+                sim: FaultSimulator::new(config_b).with_kernel(kernel_b),
+                schedule: &schedule,
+                universe: &universe_b,
+            },
+        ];
+        for threads in [1, 2, 7] {
+            let batched = FaultSimulator::simulate_universes_with(ShardPlan::with_threads(threads), &jobs);
+            assert_eq!(
+                batched, baseline,
+                "fleet outcomes diverged for kernels ({kernel_a}, {kernel_b}) at {threads} threads"
+            );
         }
     }
 }

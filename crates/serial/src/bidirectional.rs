@@ -150,7 +150,7 @@ impl BidirectionalSerialInterface {
                         if direction == ShiftDirection::Left {
                             failing.reverse();
                         }
-                        for bit in failing {
+                        for &bit in failing.iter() {
                             mismatches += 1;
                             let site = (address, bit);
                             if located.is_none() && !known_faults.contains(&site) {

@@ -105,6 +105,9 @@ pub enum SpecErrorKind {
     },
     /// An `[execution] kernel` the diagnosis engine does not know.
     UnknownKernel(String),
+    /// An `[execution] faultsim_kernel` the fault simulator does not
+    /// know.
+    UnknownFaultSimKernel(String),
     /// A `[defects] classes` entry naming no modelled fault class.
     UnknownFaultClass(String),
     /// A `[defects] classes` key given as an empty array.
@@ -168,6 +171,12 @@ impl fmt::Display for SpecErrorKind {
                 write!(
                     f,
                     "unknown kernel '{name}' (expected 'bit-parallel' or 'per-memory')"
+                )
+            }
+            SpecErrorKind::UnknownFaultSimKernel(name) => {
+                write!(
+                    f,
+                    "unknown faultsim kernel '{name}' (expected 'lanes' or 'permem')"
                 )
             }
             SpecErrorKind::UnknownFaultClass(name) => {

@@ -8,7 +8,7 @@
 
 use crate::spec::{DrfSpec, MemoryGroup};
 use bisd::DiagnosisKernel;
-use esram_diag::FaultClass;
+use esram_diag::{FaultClass, FaultSimKernel};
 
 /// A validated, sweep-expanded run plan.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,6 +19,12 @@ pub struct DiagnosisPlan {
     pub scheme: SchemeConfig,
     /// Kernel override; `None` inherits `ESRAM_DIAG_KERNEL`.
     pub kernel: Option<DiagnosisKernel>,
+    /// Fault-simulation kernel pin for any fault simulation the run
+    /// performs; `None` inherits `ESRAM_FAULTSIM_KERNEL`. Report bytes
+    /// are identical under either kernel (the lane kernel is exactly
+    /// equivalent to the per-memory oracle), so this only pins
+    /// reproducibility, never results.
+    pub faultsim_kernel: Option<FaultSimKernel>,
     /// Report settings.
     pub report: ReportConfig,
     /// One job per sweep-grid point, in rate-major order.

@@ -227,11 +227,9 @@ fn run_baseline(
     plan.jobs
         .iter()
         .map(|job| {
-            let soc = match builder_for(job).and_then(|builder| {
-                builder
-                    .build_with(*shard)
-                    .map_err(|error| error.to_string())
-            }) {
+            let soc = match builder_for(job)
+                .and_then(|builder| builder.build_with(*shard).map_err(|error| error.to_string()))
+            {
                 Ok(soc) => soc,
                 Err(error) => return failed_row(job, &error),
             };
@@ -405,6 +403,10 @@ fn scheme_json(plan: &DiagnosisPlan) -> Json {
         Some(kernel) => Json::Str(kernel.to_string()),
         None => Json::Str("inherit".to_string()),
     };
+    let faultsim_kernel = match plan.faultsim_kernel {
+        Some(kernel) => Json::Str(kernel.to_string()),
+        None => Json::Str("inherit".to_string()),
+    };
     match &plan.scheme {
         SchemeConfig::Fast { clock_ns, drf } => {
             let mut fields = vec![
@@ -426,6 +428,7 @@ fn scheme_json(plan: &DiagnosisPlan) -> Json {
                 fields.push(("pause_ms", Json::Int(*ms as i128)));
             }
             fields.push(("kernel", kernel));
+            fields.push(("faultsim_kernel", faultsim_kernel));
             Json::object(fields)
         }
         SchemeConfig::Baseline {
@@ -442,6 +445,7 @@ fn scheme_json(plan: &DiagnosisPlan) -> Json {
             }
             fields.push(("max_iterations", Json::Int(*max_iterations as i128)));
             fields.push(("kernel", kernel));
+            fields.push(("faultsim_kernel", faultsim_kernel));
             Json::object(fields)
         }
     }

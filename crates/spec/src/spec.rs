@@ -35,6 +35,7 @@
 //!
 //! [execution]
 //! kernel = "bit-parallel" # (inherit ESRAM_DIAG_KERNEL) or "per-memory"
+//! faultsim_kernel = "lanes" # (inherit ESRAM_FAULTSIM_KERNEL) or "permem"
 //!
 //! [sweep]                 # optional; axes form a cartesian job grid
 //! defect_rates = [0.001, 0.01, 0.1]
@@ -49,7 +50,7 @@ use crate::error::{SpecError, SpecErrorKind};
 use crate::plan::{DiagnosisPlan, PlannedJob, ReportConfig, SchemeConfig};
 use crate::toml::{self, Span, Spanned, TomlDocument, TomlTable, TomlValue};
 use bisd::DiagnosisKernel;
-use esram_diag::FaultClass;
+use esram_diag::{FaultClass, FaultSimKernel};
 use sram_model::MemConfig;
 
 /// The defect-injection seed used when `[scenario] seed` is omitted —
@@ -76,6 +77,9 @@ pub struct ScenarioSpec {
     pub scheme: SchemeSpec,
     /// Kernel override; `None` inherits `ESRAM_DIAG_KERNEL`.
     pub kernel: Option<DiagnosisKernel>,
+    /// Fault-simulation kernel pin; `None` inherits
+    /// `ESRAM_FAULTSIM_KERNEL`.
+    pub faultsim_kernel: Option<FaultSimKernel>,
     /// Sweep axes (empty = single job).
     pub sweep: SweepSpec,
     /// Report settings.
@@ -216,7 +220,7 @@ impl ScenarioSpec {
         let memories = parse_memories(&doc)?;
         let defects = parse_defects(&doc)?;
         let scheme = parse_scheme(&doc)?;
-        let kernel = parse_execution(&doc)?;
+        let (kernel, faultsim_kernel) = parse_execution(&doc)?;
         let sweep = parse_sweep(&doc)?;
         let report = parse_report(&doc)?;
 
@@ -227,6 +231,7 @@ impl ScenarioSpec {
             defects,
             scheme,
             kernel,
+            faultsim_kernel,
             sweep,
             report,
         })
@@ -295,6 +300,7 @@ impl ScenarioSpec {
             name: self.name.clone(),
             scheme,
             kernel: self.kernel,
+            faultsim_kernel: self.faultsim_kernel,
             report: ReportConfig {
                 dir: self.report.dir.clone(),
                 sites: self.report.sites,
@@ -352,9 +358,14 @@ impl ScenarioSpec {
             out.push_str(&format!("max_iterations = {}\n", self.scheme.max_iterations));
         }
 
-        if let Some(kernel) = self.kernel {
+        if self.kernel.is_some() || self.faultsim_kernel.is_some() {
             out.push_str("\n[execution]\n");
-            out.push_str(&format!("kernel = \"{kernel}\"\n"));
+            if let Some(kernel) = self.kernel {
+                out.push_str(&format!("kernel = \"{kernel}\"\n"));
+            }
+            if let Some(kernel) = self.faultsim_kernel {
+                out.push_str(&format!("faultsim_kernel = \"{kernel}\"\n"));
+            }
         }
 
         if !self.sweep.defect_rates.is_empty() || !self.sweep.seeds.is_empty() {
@@ -623,21 +634,39 @@ fn parse_scheme(doc: &TomlDocument) -> Result<SchemeSpec, SpecError> {
     })
 }
 
-fn parse_execution(doc: &TomlDocument) -> Result<Option<DiagnosisKernel>, SpecError> {
+type ExecutionKnobs = (Option<DiagnosisKernel>, Option<FaultSimKernel>);
+
+fn parse_execution(doc: &TomlDocument) -> Result<ExecutionKnobs, SpecError> {
     let Some(table) = section(doc, "execution") else {
-        return Ok(None);
+        return Ok((None, None));
     };
-    table.check_keys(&["kernel"])?;
-    match table.get("kernel") {
+    table.check_keys(&["kernel", "faultsim_kernel"])?;
+    let kernel = match table.get("kernel") {
         Some(value) => {
             let raw = as_string("kernel", value)?;
             match DiagnosisKernel::parse(&raw) {
-                Some(kernel) => Ok(Some(kernel)),
-                None => Err(SpecError::new(SpecErrorKind::UnknownKernel(raw), value.span)),
+                Some(kernel) => Some(kernel),
+                None => return Err(SpecError::new(SpecErrorKind::UnknownKernel(raw), value.span)),
             }
         }
-        None => Ok(None),
-    }
+        None => None,
+    };
+    let faultsim_kernel = match table.get("faultsim_kernel") {
+        Some(value) => {
+            let raw = as_string("faultsim_kernel", value)?;
+            match FaultSimKernel::parse(&raw) {
+                Some(kernel) => Some(kernel),
+                None => {
+                    return Err(SpecError::new(
+                        SpecErrorKind::UnknownFaultSimKernel(raw),
+                        value.span,
+                    ))
+                }
+            }
+        }
+        None => None,
+    };
+    Ok((kernel, faultsim_kernel))
 }
 
 fn parse_sweep(doc: &TomlDocument) -> Result<SweepSpec, SpecError> {
@@ -836,6 +865,7 @@ mod tests {
         assert_eq!(spec.defects, DefectSpec::default());
         assert_eq!(spec.scheme, SchemeSpec::default());
         assert_eq!(spec.kernel, None);
+        assert_eq!(spec.faultsim_kernel, None);
         assert_eq!(spec.sweep, SweepSpec::default());
         assert_eq!(spec.report, ReportSpec::default());
     }
@@ -900,7 +930,7 @@ mod tests {
             "[[memory]]\nwords = 64\nwidth = 16\n",
             "[defects]\nrate = 0.02\ndata_retention = true\nspares = 6\n",
             "[scheme]\nkind = \"fast\"\nclock_ns = 5.0\ndrf = \"pause\"\npause_ms = 100\n",
-            "[execution]\nkernel = \"per-memory\"\n",
+            "[execution]\nkernel = \"per-memory\"\nfaultsim_kernel = \"permem\"\n",
             "[sweep]\ndefect_rates = [0.001, 1.0]\nseeds = [1, 2]\n",
             "[report]\ndir = \"out/full\"\nsites = true\n",
         );
@@ -908,5 +938,27 @@ mod tests {
         let reparsed = ScenarioSpec::parse(&spec.to_toml()).unwrap();
         assert_eq!(spec, reparsed);
         assert_eq!(spec.compile(), reparsed.compile());
+    }
+
+    #[test]
+    fn faultsim_kernel_parses_compiles_and_round_trips_alone() {
+        // `[execution]` with only the fault-sim pin: the section must
+        // still be emitted (and survive a round trip) when the
+        // diagnosis kernel stays inherited.
+        let source = concat!(
+            "[scenario]\nname = \"fs\"\n",
+            "[[memory]]\nwords = 64\nwidth = 8\n",
+            "[execution]\nfaultsim_kernel = \"lanes\"\n",
+        );
+        let spec = ScenarioSpec::parse(source).unwrap();
+        assert_eq!(spec.kernel, None);
+        assert_eq!(spec.faultsim_kernel, Some(FaultSimKernel::Lanes));
+        assert_eq!(spec.compile().faultsim_kernel, Some(FaultSimKernel::Lanes));
+        let reparsed = ScenarioSpec::parse(&spec.to_toml()).unwrap();
+        assert_eq!(spec, reparsed);
+        // The env-knob aliases parse here too.
+        let aliased = source.replace("\"lanes\"", "\"per-memory\"");
+        let spec = ScenarioSpec::parse(&aliased).unwrap();
+        assert_eq!(spec.faultsim_kernel, Some(FaultSimKernel::PerMemory));
     }
 }

@@ -81,6 +81,7 @@ proptest! {
         pause_ms in 1u32..2000,
         cap in 1u64..10_000,
         kernel_pick in 0u8..3,
+        faultsim_pick in 0u8..3,
         class_mask in 0u8..8,
         sweep_rate_millis in vec(0u64..1001, 0..4),
         sweep_seeds in vec(0u64..1_000_000, 0..4),
@@ -102,6 +103,11 @@ proptest! {
                 0 => None,
                 1 => Some(bisd::DiagnosisKernel::BitParallel),
                 _ => Some(bisd::DiagnosisKernel::PerMemory),
+            },
+            faultsim_kernel: match faultsim_pick {
+                0 => None,
+                1 => Some(esram_diag::FaultSimKernel::Lanes),
+                _ => Some(esram_diag::FaultSimKernel::PerMemory),
             },
             sweep: SweepSpec {
                 defect_rates: sweep_rate_millis.iter().map(|&m| m as f64 / 1000.0).collect(),

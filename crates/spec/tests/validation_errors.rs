@@ -230,6 +230,13 @@ fn unknown_kernel() {
 }
 
 #[test]
+fn unknown_faultsim_kernel() {
+    // The same malformed value the CI env-guard rejects ambiently.
+    let error = reject(&format!("{VALID}[execution]\nfaultsim_kernel = \"lnaes\"\n"));
+    assert!(matches!(error.kind, SpecErrorKind::UnknownFaultSimKernel(name) if name == "lnaes"));
+}
+
+#[test]
 fn unknown_fault_class() {
     let error = reject(&format!(
         "{VALID}[defects]\nclasses = [\"stuck-at\", \"bit-rot\"]\n"

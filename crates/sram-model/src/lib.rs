@@ -16,6 +16,11 @@
 //!   ([`reference::ReferenceSram`]) kept as a differential-testing
 //!   oracle and benchmarking baseline, behind the same
 //!   [`port::MemoryPort`]/[`port::FaultTarget`] abstractions;
+//! * a lane-parallel transposition of that design
+//!   ([`lanes::LanePlanes`]): up to 64 independently-faulty copies of
+//!   one memory packed into the bit lanes of a `u64`, driven by
+//!   broadcast row operations — the substrate of the march fault
+//!   simulator's lane kernel;
 //! * an address decoder with the classical address-decoder fault classes;
 //! * port operations (read, write, no-op and the *No Write Recovery
 //!   Cycle* of the NWRTM DFT technique) with an operation trace and
@@ -52,6 +57,7 @@ pub mod cell;
 pub mod config;
 pub mod decoder;
 pub mod error;
+pub mod lanes;
 pub mod planes;
 pub mod port;
 pub mod reference;
@@ -65,9 +71,10 @@ pub use cell::{Cell, CellFault, CellNode, CouplingKind};
 pub use config::{Address, MemConfig, MemoryId};
 pub use decoder::{DecoderFault, DecoderFaultKind};
 pub use error::MemError;
+pub use lanes::LanePlanes;
 pub use planes::BitPlanes;
 pub use port::{AccessProfile, FaultTarget, MemoryPort};
 pub use reference::ReferenceSram;
 pub use retention::RetentionModel;
 pub use trace::{MemOp, OpKind, OperationTrace};
-pub use word::DataWord;
+pub use word::{DataWord, FailingBits};

@@ -395,16 +395,17 @@ impl DataWord {
     /// This is what the BISD comparator array computes per memory: the
     /// failing bit positions of a response against the expected value.
     ///
-    /// Allocation-free when the words agree (the common case on the
-    /// fault-simulation hot path).
+    /// Allocation-free when at most [`FailingBits::INLINE`] bits differ
+    /// — which covers agreement and the typical one- or two-bit fault
+    /// signature on the fault-simulation hot path.
     ///
     /// # Panics
     ///
     /// Panics if widths differ.
     #[inline]
-    pub fn mismatches(&self, other: &DataWord) -> Vec<usize> {
+    pub fn mismatches(&self, other: &DataWord) -> FailingBits {
         assert_eq!(self.width, other.width, "mismatches requires equal widths");
-        let mut out = Vec::new();
+        let mut out = FailingBits::new();
         for (index, (a, b)) in self.limbs().iter().zip(other.limbs()).enumerate() {
             let mut diff = a ^ b;
             while diff != 0 {
@@ -460,6 +461,158 @@ impl fmt::Display for DataWord {
 impl FromIterator<bool> for DataWord {
     fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
         DataWord::from_bits_lsb_first(iter)
+    }
+}
+
+/// A failing-bit list with inline storage for short lists.
+///
+/// Fault simulation materialises one of these per
+/// [failure record](crate::Sram) — tens of thousands per universe at
+/// benchmark scale — and nearly every real record flags only one or two
+/// bit positions (a cell fault corrupts one cell, so a single read
+/// mismatches in exactly one bit). Storing up to [`FailingBits::INLINE`]
+/// positions inline removes the per-record heap allocation that
+/// otherwise dominates record materialisation once enough records are
+/// live to pressure the allocator; longer lists (e.g. decoder faults
+/// mismatching a whole word) spill transparently to a `Vec`.
+///
+/// Dereferences to `[usize]`, so reading code treats it exactly like
+/// the `Vec<usize>` it replaces.
+#[derive(Clone, Default)]
+pub struct FailingBits {
+    inline: [usize; FailingBits::INLINE],
+    len: u8,
+    spill: Vec<usize>,
+}
+
+impl FailingBits {
+    /// Number of bit positions stored without a heap allocation.
+    pub const INLINE: usize = 2;
+
+    /// An empty list (no allocation).
+    #[must_use]
+    pub fn new() -> Self {
+        FailingBits::default()
+    }
+
+    /// An empty list with room for `capacity` positions: inline when it
+    /// fits, pre-spilled otherwise so the pushes never re-copy.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        FailingBits {
+            inline: [0; FailingBits::INLINE],
+            len: 0,
+            spill: if capacity > FailingBits::INLINE {
+                Vec::with_capacity(capacity)
+            } else {
+                Vec::new()
+            },
+        }
+    }
+
+    /// Appends a bit position, spilling to the heap past
+    /// [`FailingBits::INLINE`] entries.
+    pub fn push(&mut self, bit: usize) {
+        if self.spill.is_empty() && (self.len as usize) < FailingBits::INLINE {
+            self.inline[self.len as usize] = bit;
+            self.len += 1;
+            return;
+        }
+        if self.spill.is_empty() {
+            // Inline storage is full: move it to the heap first.
+            self.spill.reserve(FailingBits::INLINE + 1);
+            self.spill.extend_from_slice(&self.inline);
+            self.len = 0;
+        }
+        self.spill.push(bit);
+    }
+
+    /// Reverses the positions in place (serial diagnosis reports
+    /// left-shifted responses MSB first).
+    pub fn reverse(&mut self) {
+        if self.spill.is_empty() {
+            self.inline[..self.len as usize].reverse();
+        } else {
+            self.spill.reverse();
+        }
+    }
+
+    fn as_slice(&self) -> &[usize] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+}
+
+impl std::ops::Deref for FailingBits {
+    type Target = [usize];
+
+    fn deref(&self) -> &[usize] {
+        self.as_slice()
+    }
+}
+
+impl fmt::Debug for FailingBits {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.as_slice().fmt(f)
+    }
+}
+
+impl PartialEq for FailingBits {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for FailingBits {}
+
+impl PartialEq<Vec<usize>> for FailingBits {
+    fn eq(&self, other: &Vec<usize>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<FailingBits> for Vec<usize> {
+    fn eq(&self, other: &FailingBits) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<usize>> for FailingBits {
+    fn from(bits: Vec<usize>) -> Self {
+        if bits.len() > FailingBits::INLINE {
+            return FailingBits {
+                inline: [0; FailingBits::INLINE],
+                len: 0,
+                spill: bits,
+            };
+        }
+        let mut out = FailingBits::new();
+        for &bit in &bits {
+            out.push(bit);
+        }
+        out
+    }
+}
+
+impl FromIterator<usize> for FailingBits {
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let mut out = FailingBits::new();
+        for bit in iter {
+            out.push(bit);
+        }
+        out
+    }
+}
+
+impl<'a> IntoIterator for &'a FailingBits {
+    type Item = &'a usize;
+    type IntoIter = std::slice::Iter<'a, usize>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
     }
 }
 
